@@ -1,0 +1,59 @@
+// Shared setup for the reproduction benches: builds the 16-core machine of
+// the paper's evaluation (§6) with the typed allocator and kernel
+// environment, and provides throughput measurement helpers.
+//
+// Every bench fixes its seeds, so tables are reproducible run-to-run.
+
+#ifndef DPROF_BENCH_BENCH_COMMON_H_
+#define DPROF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "src/dprof/session.h"
+#include "src/profilers/code_profiler.h"
+#include "src/profilers/lock_stat.h"
+#include "src/workload/apache.h"
+#include "src/workload/kernel.h"
+#include "src/workload/memcached.h"
+
+namespace dprof {
+
+// A complete simulated testbed: machine + allocator + kernel environment.
+struct BenchRig {
+  explicit BenchRig(int cores = 16, uint64_t seed = 1) {
+    MachineConfig config;
+    config.hierarchy.num_cores = cores;
+    config.seed = seed;
+    machine = std::make_unique<Machine>(config);
+    allocator = std::make_unique<SlabAllocator>(machine.get(), &registry);
+    machine->SetAllocator(allocator.get());
+    env = std::make_unique<KernelEnv>(machine.get(), allocator.get());
+  }
+
+  TypeRegistry registry;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<SlabAllocator> allocator;
+  std::unique_ptr<KernelEnv> env;
+};
+
+// Warms to a steady state, then measures throughput over `measure` cycles.
+inline double MeasureThroughput(BenchRig& rig, Workload& workload, uint64_t warm,
+                                uint64_t measure) {
+  rig.machine->RunFor(warm);
+  workload.ResetStats();
+  const uint64_t start = rig.machine->MaxClock();
+  rig.machine->RunFor(measure);
+  return ThroughputRps(workload.CompletedRequests(), rig.machine->MaxClock() - start);
+}
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace dprof
+
+#endif  // DPROF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,175 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives, plus a
+// check of the paper's §6.3 cost constants (IBS interrupt ~2,000 cycles,
+// 88 bytes per access sample; §6.4: watchpoint interrupt ~1,000 cycles,
+// 130k/220k-cycle debug-register setup).
+//
+// These measure *host* performance of the simulator itself — useful for
+// knowing how much simulated time a bench second buys.
+
+#include <benchmark/benchmark.h>
+
+#include "src/dprof/session.h"
+#include "src/workload/kernel.h"
+#include "src/workload/memcached.h"
+
+namespace dprof {
+namespace {
+
+void BM_CacheTouch(benchmark::State& state) {
+  Cache cache(CacheGeometry{32 * 1024, 64, 8});
+  for (uint64_t line = 0; line < 512; ++line) {
+    cache.Insert(line, line);
+  }
+  uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch(line % 512, line));
+    ++line;
+  }
+}
+BENCHMARK(BM_CacheTouch);
+
+void BM_HierarchyLocalHit(benchmark::State& state) {
+  HierarchyConfig config;
+  config.num_cores = 4;
+  CacheHierarchy h(config);
+  h.Access(0, 0x1000, 8, false, 0);
+  uint64_t now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Access(0, 0x1000, 8, false, now++));
+  }
+}
+BENCHMARK(BM_HierarchyLocalHit);
+
+void BM_HierarchyForeignBounce(benchmark::State& state) {
+  HierarchyConfig config;
+  config.num_cores = 4;
+  CacheHierarchy h(config);
+  uint64_t now = 1;
+  int core = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Access(core, 0x2000, 8, true, now++));
+    core = (core + 1) % 2;
+  }
+}
+BENCHMARK(BM_HierarchyForeignBounce);
+
+void BM_SlabAllocFree(benchmark::State& state) {
+  MachineConfig config;
+  config.hierarchy.num_cores = 2;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  const TypeId type = registry.Register("bench_obj", 256);
+  const FunctionId fn = machine.symbols().Intern("bench");
+  CoreContext ctx = machine.Context(0);
+  for (auto _ : state) {
+    const Addr a = ctx.Alloc(type, fn);
+    ctx.Free(a, fn);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SlabAllocFree);
+
+void BM_Resolve(benchmark::State& state) {
+  MachineConfig config;
+  config.hierarchy.num_cores = 1;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  const TypeId type = registry.Register("bench_obj", 256);
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(type, machine.symbols().Intern("bench"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.Resolve(a + 128));
+  }
+}
+BENCHMARK(BM_Resolve);
+
+void BM_MemcachedRequest(benchmark::State& state) {
+  MachineConfig config;
+  config.hierarchy.num_cores = 4;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  KernelEnv env(&machine, &allocator);
+  MemcachedConfig mc;
+  mc.rx_ring_entries = 32;
+  MemcachedWorkload workload(&env, mc);
+  workload.Install(machine);
+  for (auto _ : state) {
+    machine.RunSteps(1);
+  }
+  state.counters["sim_cycles_per_step"] =
+      static_cast<double>(machine.MaxClock()) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MemcachedRequest);
+
+void BM_IbsSampledAccess(benchmark::State& state) {
+  MachineConfig config;
+  config.hierarchy.num_cores = 1;
+  Machine machine(config);
+  IbsConfig ibs_config;
+  ibs_config.period_ops = 100;
+  IbsUnit ibs(1, ibs_config);
+  machine.AddPmuHook(&ibs);
+  CoreContext ctx = machine.Context(0);
+  Addr a = 0x1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Read(0, a, 8));
+    a += 64;
+  }
+}
+BENCHMARK(BM_IbsSampledAccess);
+
+void BM_PathTraceBuild(benchmark::State& state) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  Rng rng(3);
+  for (uint32_t sweep = 0; sweep < 32; ++sweep) {
+    for (uint32_t off = 0; off < 64; off += 4) {
+      ObjectHistory h;
+      h.type = 1;
+      h.sweep = sweep;
+      h.complete = true;
+      h.watch_offsets[0] = off;
+      for (int i = 0; i < 6; ++i) {
+        HistoryElement e;
+        e.offset = off;
+        e.ip = static_cast<FunctionId>(rng.Below(8));
+        e.cpu = static_cast<uint16_t>(rng.Below(2));
+        e.time = static_cast<uint64_t>(i) * 100 + rng.Below(20);
+        h.elements.push_back(e);
+      }
+      h.end_time = h.elements.back().time + 10;
+      histories.push_back(std::move(h));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PathTraceBuilder::Build(1, histories, samples));
+  }
+}
+BENCHMARK(BM_PathTraceBuild);
+
+}  // namespace
+}  // namespace dprof
+
+int main(int argc, char** argv) {
+  std::printf("paper cost constants in effect (checked against §6.3/§6.4):\n");
+  dprof::IbsConfig ibs;
+  std::printf("  IBS interrupt: %llu cycles (+%llu handler)\n",
+              static_cast<unsigned long long>(ibs.interrupt_cycles),
+              static_cast<unsigned long long>(ibs.handler_cycles));
+  dprof::DebugRegCostModel debug_costs;
+  std::printf("  watchpoint interrupt: %llu cycles\n",
+              static_cast<unsigned long long>(debug_costs.interrupt_cycles));
+  std::printf("  debug-register setup: %llu initiator / %llu total (16 cores)\n\n",
+              static_cast<unsigned long long>(debug_costs.setup_initiator_cycles),
+              static_cast<unsigned long long>(debug_costs.setup_initiator_cycles +
+                                              15 * debug_costs.setup_ipi_cycles));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

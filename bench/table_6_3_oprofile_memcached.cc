@@ -1,0 +1,35 @@
+// Reproduces paper Table 6.3: top functions by percent of clock cycles and
+// L2 misses for memcached, as an OProfile-style code profiler reports them.
+//
+// Paper shape: a flat profile — ~29 functions above 1% CLK with kfree,
+// ixgbe_clean_rx_irq and __alloc_skb near the top. Nothing in this view
+// points at the transmit-queue selection bug; that is the paper's argument
+// for data-centric profiling.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace dprof;
+  PrintHeader("Table 6.3: OProfile-style function profile of memcached",
+              "Pesterev 2010, Table 6.3");
+
+  BenchRig rig(16, 42);
+  MemcachedWorkload workload(rig.env.get(), MemcachedConfig{});
+  workload.Install(*rig.machine);
+  CodeProfiler profiler;
+  rig.machine->AddObserver(&profiler);
+
+  rig.machine->RunFor(15'000'000);
+  profiler.Reset();
+  rig.machine->RunFor(60'000'000);
+
+  std::printf("%s\n", profiler.ReportTable(rig.machine->symbols(), 1.0).c_str());
+  const auto rows = profiler.Report(rig.machine->symbols(), 1.0);
+  std::printf("functions above 1%% CLK: %zu (paper: 29)\n\n", rows.size());
+
+  std::printf("paper reference (top rows): 4.4%% kfree, 3.7%% ixgbe_clean_rx_irq,\n");
+  std::printf("3.5%% __alloc_skb, 3.2%% ixgbe_xmit_frame, 3.0%% kmem_cache_free, ...\n");
+  std::printf("note: dev_queue_xmit / skb_tx_hash sit mid-table in both — the bug\n");
+  std::printf("is invisible in a code-centric profile.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Table 6.9: the breakdown of object-access-history
+// profiling overhead into (a) debug-register interrupts, (b) reserving the
+// object with the memory subsystem, and (c) the cross-core debug-register
+// setup broadcast, for data types used by Apache.
+//
+// Paper shape: the broadcast dominates for types with few accesses per
+// watched window (skbuff_fclone: 90% communication) while hot bookkeeping
+// types pay mostly interrupt cost (skbuff: 60% interrupts).
+
+#include "bench/history_bench.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace dprof;
+  PrintHeader("Table 6.9: history overhead breakdown (Apache data types)",
+              "Pesterev 2010, Table 6.9");
+
+  TablePrinter table({"Data Type", "Interrupts", "Memory", "Communication"});
+  for (const auto& [factory, config] : PaperHistoryRows(false)) {
+    if (config.benchmark != "Apache") {
+      continue;
+    }
+    const HistoryBenchResult r = RunHistoryBench(factory, config);
+    const double total = static_cast<double>(r.breakdown.Total());
+    table.AddRow({r.type_name,
+                  TablePrinter::Percent(Pct(static_cast<double>(r.breakdown.interrupt_cycles),
+                                            total), 0),
+                  TablePrinter::Percent(Pct(static_cast<double>(r.breakdown.reserve_cycles),
+                                            total), 0),
+                  TablePrinter::Percent(Pct(static_cast<double>(r.breakdown.comm_cycles),
+                                            total), 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("paper reference rows:\n");
+  std::printf("  size-1024      20%%  10%%  70%%\n");
+  std::printf("  skbuff         60%%  10%%  30%%\n");
+  std::printf("  skbuff_fclone   5%%   5%%  90%%\n");
+  std::printf("  tcp_sock       20%%   5%%  75%%\n\n");
+  std::printf("cost model: 1,000 cycles per watchpoint interrupt; 130,000 cycles on\n");
+  std::printf("the initiating core per setup broadcast (220,000 total); 20,000 cycles\n");
+  std::printf("to reserve an object with the memory subsystem (paper §6.4).\n");
+  return 0;
+}

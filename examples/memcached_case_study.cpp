@@ -1,0 +1,103 @@
+// Paper §6.1 end-to-end: diagnose memcached's transmit-queue bug with DProf,
+// cross-check with lock-stat and OProfile, then apply the fix and measure.
+//
+// Expected outcome (paper): size-1024 tops the data profile and bounces; the
+// skbuff data flow shows a CPU change between pfifo_fast_enqueue and
+// pfifo_fast_dequeue; installing a local queue selection function removes the
+// bouncing and improves throughput by ~57%.
+
+#include <cstdio>
+
+#include "src/dprof/session.h"
+#include "src/profilers/code_profiler.h"
+#include "src/profilers/lock_stat.h"
+#include "src/workload/kernel.h"
+#include "src/workload/memcached.h"
+
+namespace {
+
+// Runs one memcached configuration and returns its throughput (req/s).
+double MeasureThroughput(bool local_queue_fix, uint64_t cycles) {
+  using namespace dprof;
+  MachineConfig config;
+  config.hierarchy.num_cores = 16;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  KernelEnv env(&machine, &allocator);
+  MemcachedConfig mc;
+  mc.local_queue_fix = local_queue_fix;
+  MemcachedWorkload workload(&env, mc);
+  workload.Install(machine);
+
+  // Warm up, then measure.
+  machine.RunFor(cycles / 4);
+  workload.ResetStats();
+  const uint64_t start = machine.MaxClock();
+  machine.RunFor(cycles);
+  return ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dprof;
+
+  MachineConfig config;
+  config.hierarchy.num_cores = 16;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  KernelEnv env(&machine, &allocator);
+
+  MemcachedWorkload workload(&env, MemcachedConfig{});  // stock kernel (bug)
+  workload.Install(machine);
+
+  CodeProfiler oprofile;
+  machine.AddObserver(&oprofile);
+  LockStat lockstat(&machine.symbols());
+  machine.SetLockObserver(&lockstat);
+
+  DProfOptions options;
+  options.ibs_period_ops = 150;
+  DProfSession session(&machine, &allocator, options);
+
+  std::printf("profiling stock memcached configuration (16 cores)...\n\n");
+  const uint64_t start = machine.MaxClock();
+  session.CollectAccessSamples(40'000'000);
+
+  std::printf("== DProf data profile ==\n%s\n", session.BuildDataProfile().ToTable(6).c_str());
+
+  const TypeId skbuff = registry.Find("skbuff");
+  session.CollectHistories(skbuff, 8);
+  const DataFlowGraph flow = session.BuildDataFlow(skbuff);
+  std::printf("== DProf data flow for skbuff (CPU transitions in bold) ==\n%s\n",
+              flow.ToAscii().c_str());
+  std::printf("top cross-CPU transitions:\n");
+  int shown = 0;
+  for (const DataFlowEdge& edge : flow.CpuTransitions()) {
+    if (shown++ >= 4) {
+      break;
+    }
+    std::printf("  %s ==CPU=> %s  (x%llu)\n", flow.nodes()[edge.from].label.c_str(),
+                flow.nodes()[edge.to].label.c_str(),
+                static_cast<unsigned long long>(edge.frequency));
+  }
+
+  const uint64_t elapsed = machine.MaxClock() - start;
+  std::printf("\n== lock-stat (same run) ==\n%s\n",
+              lockstat.ReportTable(elapsed, machine.num_cores()).c_str());
+  std::printf("== OProfile-style function profile (same run, top rows) ==\n%s\n",
+              oprofile.ReportTable(machine.symbols(), 1.5).c_str());
+
+  std::printf("== The fix: driver-provided local queue selection ==\n");
+  const double buggy = MeasureThroughput(false, 30'000'000);
+  const double fixed = MeasureThroughput(true, 30'000'000);
+  std::printf("stock (skb_tx_hash):  %12.0f req/s\n", buggy);
+  std::printf("fixed (local queue):  %12.0f req/s\n", fixed);
+  std::printf("improvement:          %+11.1f%%  (paper: +57%%)\n",
+              100.0 * (fixed - buggy) / buggy);
+  return 0;
+}

@@ -1,0 +1,375 @@
+#include "src/alloc/slab_allocator.h"
+
+#include <algorithm>
+
+namespace dprof {
+
+SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const SlabConfig& config)
+    : machine_(machine), registry_(registry), config_(config) {
+  DPROF_CHECK(config_.page_size >= 256);
+  DPROF_CHECK(config_.slab_header_size < config_.page_size);
+  DPROF_CHECK(config_.batch_count > 0 && config_.batch_count <= config_.magazine_capacity);
+
+  slab_type_ = registry_->Register("slab", config_.slab_header_size);
+  array_cache_type_ = registry_->Register("array_cache", 128);
+  kmem_cache_type_ = registry_->Register("kmem_cache", 256);
+
+  SymbolTable& sym = machine_->symbols();
+  fn_alloc_ = sym.Intern("kmem_cache_alloc_node");
+  fn_refill_ = sym.Intern("cache_alloc_refill");
+  fn_free_ = sym.Intern("kmem_cache_free");
+  fn_drain_alien_ = sym.Intern("__drain_alien_cache");
+  fn_grow_ = sym.Intern("cache_grow");
+
+  first_page_ = config_.base_addr / config_.page_size;
+  bump_ = config_.base_addr;
+}
+
+SlabAllocator::PageInfo* SlabAllocator::PageFor(Addr addr) {
+  const uint64_t page = addr / config_.page_size;
+  if (page < first_page_ || page - first_page_ >= pages_.size()) {
+    return nullptr;
+  }
+  return &pages_[page - first_page_];
+}
+
+const SlabAllocator::PageInfo* SlabAllocator::PageFor(Addr addr) const {
+  const uint64_t page = addr / config_.page_size;
+  if (page < first_page_ || page - first_page_ >= pages_.size()) {
+    return nullptr;
+  }
+  return &pages_[page - first_page_];
+}
+
+Addr SlabAllocator::BumpPages(uint32_t num_pages, PageInfo info) {
+  const Addr base = bump_;
+  bump_ += static_cast<Addr>(num_pages) * config_.page_size;
+  const uint64_t first = base / config_.page_size - first_page_;
+  if (pages_.size() < first + num_pages) {
+    pages_.resize(first + num_pages);
+  }
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    pages_[first + i] = info;
+  }
+  return base;
+}
+
+Addr SlabAllocator::AllocMeta(TypeId type, uint32_t size) {
+  // Metadata and static objects get their own pages, found via meta ranges.
+  const uint32_t pages = (size + config_.page_size - 1) / config_.page_size;
+  const Addr base = BumpPages(std::max(1u, pages), PageInfo{PageInfo::Kind::kMeta, 0});
+  meta_ranges_.push_back(MetaRange{base, size, type});
+  return base;
+}
+
+Addr SlabAllocator::RegisterStatic(TypeId type, uint32_t size) {
+  const Addr base = AllocMeta(type, size);
+  // The paper's DProf learns statically-allocated objects from the
+  // executable's debug information; model that as an allocation event so
+  // static objects join the address set.
+  for (AllocationObserver* obs : observers_) {
+    obs->OnAlloc(type, base, size, 0, machine_->MaxClock());
+  }
+  return base;
+}
+
+SlabAllocator::KmemCache& SlabAllocator::CacheFor(TypeId type) {
+  auto it = cache_by_type_.find(type);
+  if (it != cache_by_type_.end()) {
+    return caches_[it->second];
+  }
+  const uint32_t id = static_cast<uint32_t>(caches_.size());
+  caches_.emplace_back();
+  KmemCache& cache = caches_.back();
+  cache.type = type;
+  // Pad to 8 bytes like the kernel allocator.
+  cache.obj_size = (registry_->Size(type) + 7u) & ~7u;
+  cache.struct_addr = AllocMeta(kmem_cache_type_, 256);
+  // All caches share the display name so lock-stat aggregates them as one
+  // class, like the paper's "SLAB cache lock" row. Each cache still has its
+  // own lock instance (and lock word) for arbitration.
+  cache.lock = std::make_unique<SimLock>("SLAB cache lock", cache.struct_addr + 64);
+  cache.per_core.resize(machine_->num_cores());
+  for (auto& pc : cache.per_core) {
+    pc.array_cache_addr = AllocMeta(array_cache_type_, 128);
+    // Linux models per-node alien queues with the same array_cache struct.
+    pc.alien_addr = AllocMeta(array_cache_type_, 128);
+    pc.magazine.reserve(config_.magazine_capacity + config_.batch_count);
+    pc.alien.reserve(config_.batch_count + 1);
+  }
+  cache_by_type_.emplace(type, id);
+  return caches_[id];
+}
+
+SimLock* SlabAllocator::CacheLock(TypeId type) { return CacheFor(type).lock.get(); }
+
+uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache) {
+  const uint32_t span = config_.slab_header_size + cache.obj_size;
+  const uint32_t num_pages = (span + config_.page_size - 1) / config_.page_size;
+  const uint32_t bytes = num_pages * config_.page_size;
+  const uint32_t num_objects =
+      std::max(1u, (bytes - config_.slab_header_size) / cache.obj_size);
+
+  const uint32_t slab_id = static_cast<uint32_t>(slabs_.size());
+  const Addr page_base =
+      BumpPages(num_pages, PageInfo{PageInfo::Kind::kSlab, slab_id});
+
+  slabs_.emplace_back();
+  Slab& slab = slabs_.back();
+  slab.cache_id = static_cast<uint32_t>(&cache - caches_.data());
+  slab.page_base = page_base;
+  slab.num_pages = num_pages;
+  slab.objs_base = page_base + config_.slab_header_size;
+  slab.num_objects = num_objects;
+  slab.freelist.reserve(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    slab.freelist.push_back(static_cast<uint16_t>(num_objects - 1 - i));
+  }
+  slab.home.assign(num_objects, -1);
+
+  // Initialize the on-slab header (type "slab").
+  ctx.Write(fn_grow_, page_base, config_.slab_header_size);
+  ctx.Compute(fn_grow_, 150);
+  cache.partial.push_back(slab_id);
+  return slab_id;
+}
+
+void SlabAllocator::Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
+  ctx.LockAcquire(*cache.lock, fn_refill_);
+  ctx.Compute(fn_refill_, 60);
+  uint32_t want = config_.batch_count;
+  while (want > 0) {
+    if (cache.partial.empty()) {
+      GrowCache(ctx, cache);
+    }
+    const uint32_t slab_id = cache.partial.back();
+    Slab& slab = slabs_[slab_id];
+    // Walk the slab's bookkeeping structures (type "slab").
+    ctx.Access(fn_refill_, slab.page_base, 32, true);
+    while (want > 0 && !slab.freelist.empty()) {
+      const uint16_t idx = slab.freelist.back();
+      slab.freelist.pop_back();
+      pc.magazine.push_back(slab.objs_base + static_cast<Addr>(idx) * cache.obj_size);
+      --want;
+    }
+    if (slab.freelist.empty()) {
+      cache.partial.pop_back();
+    }
+  }
+  ctx.LockRelease(*cache.lock, fn_refill_);
+}
+
+void SlabAllocator::ReturnToSlab(CoreContext& ctx, KmemCache& cache, Addr obj) {
+  const PageInfo* page = PageFor(obj);
+  DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
+  Slab& slab = slabs_[page->slab_id];
+  const uint16_t idx =
+      static_cast<uint16_t>((obj - slab.objs_base) / cache.obj_size);
+  ctx.Access(fn_refill_, slab.page_base + 8, 16, true);
+  if (slab.freelist.empty()) {
+    cache.partial.push_back(page->slab_id);
+  }
+  slab.freelist.push_back(idx);
+}
+
+void SlabAllocator::FlushMagazine(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
+  ctx.LockAcquire(*cache.lock, fn_free_);
+  ctx.Compute(fn_free_, 60);
+  for (uint32_t i = 0; i < config_.batch_count && !pc.magazine.empty(); ++i) {
+    const Addr obj = pc.magazine.front();
+    pc.magazine.erase(pc.magazine.begin());
+    ReturnToSlab(ctx, cache, obj);
+  }
+  ctx.LockRelease(*cache.lock, fn_free_);
+}
+
+void SlabAllocator::TouchLiveAccounting(KmemCache& cache, uint64_t now, int delta) {
+  AllocatorTypeStats& st = cache.stats;
+  // Per-core clocks are only loosely synchronized; never integrate backwards.
+  if (now > st.last_event) {
+    st.live_cycles += static_cast<double>(st.live) * static_cast<double>(now - st.last_event);
+    st.last_event = now;
+  }
+  if (delta > 0) {
+    st.live += static_cast<uint64_t>(delta);
+    st.peak_live = std::max(st.peak_live, st.live);
+  } else {
+    DPROF_CHECK(st.live >= static_cast<uint64_t>(-delta));
+    st.live -= static_cast<uint64_t>(-delta);
+  }
+}
+
+Addr SlabAllocator::Alloc(CoreContext& ctx, TypeId type, FunctionId ip) {
+  KmemCache& cache = CacheFor(type);
+  PerCoreCache& pc = cache.per_core[ctx.core()];
+
+  // Fast path: pop from this core's array_cache.
+  ctx.Compute(ip, 20);
+  ctx.Access(fn_alloc_, pc.array_cache_addr, 16, true);
+  if (pc.magazine.empty()) {
+    Refill(ctx, cache, pc);
+  }
+  const Addr obj = pc.magazine.back();
+  pc.magazine.pop_back();
+  // Read the magazine slot that held the pointer.
+  ctx.Read(fn_alloc_, pc.array_cache_addr + 24 + 8 * (pc.magazine.size() % 13), 8);
+
+  const PageInfo* page = PageFor(obj);
+  DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
+  Slab& slab = slabs_[page->slab_id];
+  const uint32_t idx = static_cast<uint32_t>((obj - slab.objs_base) / cache.obj_size);
+  slab.home[idx] = static_cast<int8_t>(ctx.core());
+
+  ++cache.stats.allocs;
+  TouchLiveAccounting(cache, ctx.now(), +1);
+  for (AllocationObserver* obs : observers_) {
+    obs->OnAlloc(type, obj, cache.obj_size, ctx.core(), ctx.now());
+  }
+  return obj;
+}
+
+void SlabAllocator::Free(CoreContext& ctx, Addr addr, FunctionId ip) {
+  const ResolveResult res = Resolve(addr);
+  DPROF_CHECK(res.valid);
+  KmemCache& cache = CacheFor(res.type);
+  const PageInfo* page = PageFor(res.base);
+  DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
+  Slab& slab = slabs_[page->slab_id];
+  const uint32_t idx = static_cast<uint32_t>((res.base - slab.objs_base) / cache.obj_size);
+  const int home = slab.home[idx];
+  DPROF_CHECK(home >= 0);
+  slab.home[idx] = -1;
+
+  // kfree reads the object's page metadata to find its cache.
+  ctx.Compute(ip, 25);
+  ctx.Read(fn_free_, slab.page_base, 8);
+
+  ++cache.stats.frees;
+  TouchLiveAccounting(cache, ctx.now(), -1);
+  for (AllocationObserver* obs : observers_) {
+    obs->OnFree(res.type, res.base, cache.obj_size, ctx.core(), ctx.now());
+  }
+
+  if (home == ctx.core()) {
+    PerCoreCache& pc = cache.per_core[ctx.core()];
+    ctx.Access(fn_free_, pc.array_cache_addr, 16, true);
+    pc.magazine.push_back(res.base);
+    if (pc.magazine.size() > config_.magazine_capacity) {
+      FlushMagazine(ctx, cache, pc);
+    }
+  } else {
+    // Alien free: queue the object on this core's alien array; a full array
+    // drains in a batch under the cache lock (__drain_alien_cache), writing
+    // the home cores' array_caches — the remote writes that make
+    // array_cache objects bounce between cores (paper Table 6.1/6.2).
+    ++cache.stats.alien_frees;
+    PerCoreCache& pc = cache.per_core[ctx.core()];
+    ctx.Access(fn_free_, pc.alien_addr, 16, true);
+    pc.alien.push_back(AlienEntry{res.base, static_cast<int8_t>(home)});
+    if (pc.alien.size() >= config_.batch_count) {
+      DrainAlien(ctx, cache, pc);
+    }
+  }
+}
+
+void SlabAllocator::DrainAlien(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
+  ctx.LockAcquire(*cache.lock, fn_drain_alien_);
+  ctx.Compute(fn_drain_alien_, 60);
+  for (const AlienEntry& entry : pc.alien) {
+    ctx.Read(fn_drain_alien_, pc.alien_addr + 24, 8);
+    // free_block() updates the object's slab descriptor (free counts, list
+    // linkage) — a remote write to the "slab" header that makes slab
+    // bookkeeping bounce between cores (Table 6.1).
+    if (const PageInfo* page = PageFor(entry.obj);
+        page != nullptr && page->kind == PageInfo::Kind::kSlab) {
+      ctx.Write(fn_drain_alien_, slabs_[page->slab_id].page_base + 16, 8);
+    }
+    PerCoreCache& home_pc = cache.per_core[entry.home];
+    ctx.Access(fn_drain_alien_, home_pc.array_cache_addr, 16, true);
+    home_pc.magazine.push_back(entry.obj);
+    if (home_pc.magazine.size() > config_.magazine_capacity) {
+      for (uint32_t i = 0; i < config_.batch_count && !home_pc.magazine.empty(); ++i) {
+        const Addr obj = home_pc.magazine.front();
+        home_pc.magazine.erase(home_pc.magazine.begin());
+        ReturnToSlab(ctx, cache, obj);
+      }
+    }
+  }
+  pc.alien.clear();
+  ctx.LockRelease(*cache.lock, fn_drain_alien_);
+}
+
+ResolveResult SlabAllocator::Resolve(Addr addr) const {
+  ResolveResult out;
+  const PageInfo* page = PageFor(addr);
+  if (page == nullptr) {
+    return out;
+  }
+  if (page->kind == PageInfo::Kind::kSlab) {
+    const Slab& slab = slabs_[page->slab_id];
+    const KmemCache& cache = caches_[slab.cache_id];
+    if (addr < slab.objs_base) {
+      out.valid = true;
+      out.type = slab_type_;
+      out.base = slab.page_base;
+      out.offset = static_cast<uint32_t>(addr - slab.page_base);
+      out.size = config_.slab_header_size;
+      return out;
+    }
+    const uint64_t idx = (addr - slab.objs_base) / cache.obj_size;
+    if (idx >= slab.num_objects) {
+      return out;  // slab tail padding
+    }
+    out.valid = true;
+    out.type = cache.type;
+    out.base = slab.objs_base + idx * cache.obj_size;
+    out.offset = static_cast<uint32_t>(addr - out.base);
+    out.size = cache.obj_size;
+    return out;
+  }
+  if (page->kind == PageInfo::Kind::kMeta) {
+    // Few, long-lived ranges: linear scan is fine.
+    for (const MetaRange& range : meta_ranges_) {
+      if (addr >= range.base && addr < range.base + range.size) {
+        out.valid = true;
+        out.type = range.type;
+        out.base = range.base;
+        out.offset = static_cast<uint32_t>(addr - range.base);
+        out.size = range.size;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+void SlabAllocator::RemoveObserver(AllocationObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+const AllocatorTypeStats& SlabAllocator::type_stats(TypeId type) const {
+  auto it = cache_by_type_.find(type);
+  return it == cache_by_type_.end() ? empty_stats_ : caches_[it->second].stats;
+}
+
+double SlabAllocator::AverageLiveBytes(TypeId type, uint64_t now) const {
+  auto it = cache_by_type_.find(type);
+  if (it == cache_by_type_.end()) {
+    return 0.0;
+  }
+  const KmemCache& cache = caches_[it->second];
+  const AllocatorTypeStats& st = cache.stats;
+  if (now == 0) {
+    return 0.0;
+  }
+  double integral = st.live_cycles;
+  if (now > st.last_event) {
+    integral += static_cast<double>(st.live) * static_cast<double>(now - st.last_event);
+  }
+  return integral / static_cast<double>(now) * cache.obj_size;
+}
+
+uint64_t SlabAllocator::LiveCount(TypeId type) const { return type_stats(type).live; }
+
+}  // namespace dprof

@@ -1,0 +1,196 @@
+// Typed slab allocator modelled on the Linux SLAB allocator.
+//
+// Structure (paper §5.2, §6.1):
+//  - One kmem_cache per data type, with per-core array_caches (magazines of
+//    free objects) and a cache-wide slab list protected by a lock.
+//  - Slabs are page-sized regions with an on-slab header; objects are carved
+//    at fixed offsets, so any interior pointer resolves to (type, base,
+//    offset) by arithmetic — this implements DProf's memory type resolver.
+//  - Freeing on a core other than the allocating ("home") core takes the
+//    alien path: it acquires the cache's slab lock and writes into the home
+//    core's array_cache, which is how the paper's memcached case study ends
+//    up with `slab` and `array_cache` objects bouncing between cores.
+//
+// Crucially, the allocator's own metadata (array_cache structs, slab
+// headers, kmem_cache structs) lives in *simulated memory* and is touched
+// through CoreContext::Access, so allocator metadata shows up in DProf's
+// views exactly as it does in Table 6.1 of the paper.
+
+#ifndef DPROF_SRC_ALLOC_SLAB_ALLOCATOR_H_
+#define DPROF_SRC_ALLOC_SLAB_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/type_registry.h"
+#include "src/machine/machine.h"
+#include "src/util/types.h"
+
+namespace dprof {
+
+// Receives every allocation and deallocation. DProf uses this to build its
+// address set and to arm debug registers on newly allocated objects.
+class AllocationObserver {
+ public:
+  virtual ~AllocationObserver() = default;
+  virtual void OnAlloc(TypeId type, Addr base, uint32_t size, int core, uint64_t now) = 0;
+  virtual void OnFree(TypeId type, Addr base, uint32_t size, int core, uint64_t now) = 0;
+};
+
+struct ResolveResult {
+  bool valid = false;
+  TypeId type = kInvalidType;
+  Addr base = kNullAddr;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+};
+
+struct SlabConfig {
+  uint32_t page_size = 4096;
+  uint32_t slab_header_size = 64;
+  uint32_t magazine_capacity = 32;  // array_cache entries per core
+  uint32_t batch_count = 16;        // objects moved per refill/flush
+  Addr base_addr = 0x100000000ull;  // start of the simulated heap
+};
+
+struct AllocatorTypeStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t alien_frees = 0;
+  uint64_t live = 0;
+  uint64_t peak_live = 0;
+  // Time-weighted live-object integral, for average working set estimation:
+  // sum over events of live_count * cycles_at_that_count.
+  double live_cycles = 0.0;
+  uint64_t last_event = 0;
+};
+
+class SlabAllocator : public AllocatorIface {
+ public:
+  SlabAllocator(Machine* machine, TypeRegistry* registry, const SlabConfig& config = {});
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // AllocatorIface:
+  Addr Alloc(CoreContext& ctx, TypeId type, FunctionId ip) override;
+  void Free(CoreContext& ctx, Addr addr, FunctionId ip) override;
+
+  // Maps any address (interior pointers included) to its containing object.
+  // Works for slab objects, slab headers, allocator metadata, and static
+  // registrations.
+  ResolveResult Resolve(Addr addr) const;
+
+  // Registers a statically allocated object (the paper resolves these via
+  // executable debug info). Returns its base address in the simulated
+  // static data segment.
+  Addr RegisterStatic(TypeId type, uint32_t size);
+
+  void AddObserver(AllocationObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(AllocationObserver* observer);
+
+  TypeRegistry& registry() { return *registry_; }
+  const AllocatorTypeStats& type_stats(TypeId type) const;
+  // Average live bytes of `type` over the window since construction.
+  double AverageLiveBytes(TypeId type, uint64_t now) const;
+  uint64_t LiveCount(TypeId type) const;
+
+  // The lock protecting a cache's slab lists ("SLAB cache lock" in the
+  // paper's lock-stat table). Exposed for lock-stat name registration.
+  SimLock* CacheLock(TypeId type);
+
+  // Well-known metadata types, present in every profile.
+  TypeId slab_type() const { return slab_type_; }
+  TypeId array_cache_type() const { return array_cache_type_; }
+  TypeId kmem_cache_type() const { return kmem_cache_type_; }
+
+ private:
+  struct Slab {
+    uint32_t cache_id = 0;
+    Addr page_base = 0;
+    uint32_t num_pages = 0;
+    Addr objs_base = 0;
+    uint32_t num_objects = 0;
+    std::vector<uint16_t> freelist;    // indices of free (not carved out) objects
+    std::vector<int8_t> home;          // allocating core per object, -1 if free
+  };
+
+  struct AlienEntry {
+    Addr obj = 0;
+    int8_t home = -1;
+  };
+
+  struct PerCoreCache {
+    Addr array_cache_addr = 0;   // simulated array_cache struct (128B)
+    Addr alien_addr = 0;         // simulated alien array (also an array_cache)
+    std::vector<Addr> magazine;  // free object addresses
+    std::vector<AlienEntry> alien;  // cross-core frees awaiting a drain
+  };
+
+  struct KmemCache {
+    TypeId type = kInvalidType;
+    uint32_t obj_size = 0;
+    Addr struct_addr = 0;  // simulated kmem_cache struct
+    std::unique_ptr<SimLock> lock;
+    std::vector<PerCoreCache> per_core;
+    std::vector<uint32_t> partial;  // slab ids with free objects
+    AllocatorTypeStats stats;
+  };
+
+  struct PageInfo {
+    enum class Kind : uint8_t { kUnused, kSlab, kMeta };
+    Kind kind = Kind::kUnused;
+    uint32_t slab_id = 0;
+  };
+
+  struct MetaRange {
+    Addr base = 0;
+    uint32_t size = 0;
+    TypeId type = kInvalidType;
+  };
+
+  KmemCache& CacheFor(TypeId type);
+  uint32_t GrowCache(CoreContext& ctx, KmemCache& cache);
+  void Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
+  void FlushMagazine(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
+  void DrainAlien(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
+  void ReturnToSlab(CoreContext& ctx, KmemCache& cache, Addr obj);
+  Addr AllocMeta(TypeId type, uint32_t size);
+  Addr BumpPages(uint32_t num_pages, PageInfo info);
+  void TouchLiveAccounting(KmemCache& cache, uint64_t now, int delta);
+
+  PageInfo* PageFor(Addr addr);
+  const PageInfo* PageFor(Addr addr) const;
+
+  Machine* machine_;
+  TypeRegistry* registry_;
+  SlabConfig config_;
+
+  TypeId slab_type_ = kInvalidType;
+  TypeId array_cache_type_ = kInvalidType;
+  TypeId kmem_cache_type_ = kInvalidType;
+
+  FunctionId fn_alloc_ = kInvalidFunction;          // kmem_cache_alloc_node
+  FunctionId fn_refill_ = kInvalidFunction;         // cache_alloc_refill
+  FunctionId fn_free_ = kInvalidFunction;           // kmem_cache_free
+  FunctionId fn_drain_alien_ = kInvalidFunction;    // __drain_alien_cache
+  FunctionId fn_grow_ = kInvalidFunction;           // cache_grow
+
+  std::vector<KmemCache> caches_;
+  std::unordered_map<TypeId, uint32_t> cache_by_type_;
+  std::vector<Slab> slabs_;
+  std::vector<PageInfo> pages_;  // indexed by (page - first_page)
+  uint64_t first_page_ = 0;
+  Addr bump_ = 0;
+
+  std::vector<MetaRange> meta_ranges_;  // sorted by base
+  std::vector<AllocationObserver*> observers_;
+  AllocatorTypeStats empty_stats_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_ALLOC_SLAB_ALLOCATOR_H_

@@ -1,0 +1,28 @@
+#include "src/alloc/type_registry.h"
+
+namespace dprof {
+
+TypeId TypeRegistry::Register(const std::string& name, uint32_t size) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    DPROF_CHECK(types_[it->second].size == size);
+    return it->second;
+  }
+  DPROF_CHECK(size > 0);
+  const TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(TypeInfo{name, size});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+TypeId TypeRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidType : it->second;
+}
+
+const TypeInfo& TypeRegistry::Info(TypeId id) const {
+  DPROF_CHECK(id < types_.size());
+  return types_[id];
+}
+
+}  // namespace dprof

@@ -1,0 +1,46 @@
+// Registry of data types known to the allocator and the profiler.
+//
+// Mirrors the Linux kernel's per-type slab pools: every dynamically allocated
+// object belongs to a named type with a fixed size, which is exactly the
+// information DProf's address-to-type resolver needs (paper §5.2).
+
+#ifndef DPROF_SRC_ALLOC_TYPE_REGISTRY_H_
+#define DPROF_SRC_ALLOC_TYPE_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace dprof {
+
+struct TypeInfo {
+  std::string name;
+  uint32_t size = 0;
+};
+
+class TypeRegistry {
+ public:
+  // Registers `name` with object size `size` bytes. Re-registering the same
+  // name with the same size returns the existing id.
+  TypeId Register(const std::string& name, uint32_t size);
+
+  // Returns the id for `name` or kInvalidType.
+  TypeId Find(const std::string& name) const;
+
+  const TypeInfo& Info(TypeId id) const;
+  const std::string& Name(TypeId id) const { return Info(id).name; }
+  uint32_t Size(TypeId id) const { return Info(id).size; }
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<TypeInfo> types_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_ALLOC_TYPE_REGISTRY_H_

@@ -1,0 +1,317 @@
+#include "src/dprof/path_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/util/table.h"
+
+namespace dprof {
+
+bool PathTrace::Bounces() const {
+  for (const PathStep& step : steps) {
+    if (step.cpu_change) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PathTrace::HasInvalidationPattern(uint32_t line_size) const {
+  // For each step, scan backwards for a write on a different "CPU epoch"
+  // (separated by at least one cpu_change) to an overlapping cache line.
+  for (size_t i = 1; i < steps.size(); ++i) {
+    bool crossed_cpu = false;
+    for (size_t j = i; j-- > 0;) {
+      crossed_cpu = crossed_cpu || steps[j + 1].cpu_change;
+      if (!crossed_cpu) {
+        continue;
+      }
+      if (!steps[j].has_write) {
+        continue;
+      }
+      const uint32_t line_lo_i = steps[i].offset_lo / line_size;
+      const uint32_t line_hi_i = steps[i].offset_hi / line_size;
+      const uint32_t line_lo_j = steps[j].offset_lo / line_size;
+      const uint32_t line_hi_j = steps[j].offset_hi / line_size;
+      if (line_lo_i <= line_hi_j && line_lo_j <= line_hi_i) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// An element annotated with its CPU "epoch": the number of CPU transitions
+// its own history had seen when it was recorded. Epochs normalize away
+// absolute core ids, so histories of objects living on different cores can
+// be merged when their migration pattern matches (paper §5.4: "equivalent
+// sequence of cpu values").
+struct EpochElement {
+  HistoryElement elem;
+  uint16_t epoch = 0;
+  // Merge-ordering time, aligned at the history's end: objects of the same
+  // type spend variable time parked (NIC rings, accept queues) between
+  // allocation and processing, but processing-to-free is tight, so aligning
+  // timelines at the free keeps equivalent accesses adjacent when merging
+  // histories from different object instances.
+  int64_t sort_time = 0;
+};
+
+// Annotates one history's elements with epochs and end-aligned sort times.
+std::vector<EpochElement> Epochize(const ObjectHistory& history) {
+  std::vector<EpochElement> out;
+  out.reserve(history.elements.size());
+  const int64_t end_time = history.end_time != 0
+                               ? static_cast<int64_t>(history.end_time)
+                               : (history.elements.empty()
+                                      ? 0
+                                      : static_cast<int64_t>(history.elements.back().time));
+  uint16_t epoch = 0;
+  uint16_t prev_cpu = 0;
+  bool have_prev = false;
+  for (const HistoryElement& elem : history.elements) {
+    if (have_prev && elem.cpu != prev_cpu) {
+      ++epoch;
+    }
+    prev_cpu = elem.cpu;
+    have_prev = true;
+    out.push_back(EpochElement{elem, epoch, static_cast<int64_t>(elem.time) - end_time});
+  }
+  return out;
+}
+
+// Bucketing key for merging histories into whole-object combined sequences:
+// the number of CPU migrations the object made. Histories watching different
+// offsets of equivalently-migrating objects merge; objects that migrated a
+// different number of times (e.g. locally- vs remotely-transmitted packets)
+// stay apart.
+uint64_t MigrationShape(const std::vector<EpochElement>& elements) {
+  uint16_t max_epoch = 0;
+  for (const EpochElement& ee : elements) {
+    max_epoch = std::max(max_epoch, ee.epoch);
+  }
+  return max_epoch;
+}
+
+// Collapses epoch-annotated elements into path steps. Elements are ordered
+// by (epoch, time): the epoch axis preserves the migration structure even
+// when histories from different objects interleave slightly on the time
+// axis.
+std::vector<PathStep> CollapseToSteps(std::vector<EpochElement> elements) {
+  std::stable_sort(elements.begin(), elements.end(),
+                   [](const EpochElement& a, const EpochElement& b) {
+                     if (a.epoch != b.epoch) {
+                       return a.epoch < b.epoch;
+                     }
+                     return a.sort_time < b.sort_time;
+                   });
+  std::vector<PathStep> steps;
+  uint16_t prev_epoch = 0;
+  bool have_prev = false;
+  // Histories of different offsets come from different object instances, so
+  // their time axes carry jitter; fold an element into any of the last few
+  // steps with the same ip (the paper's "matching up common access
+  // patterns") instead of requiring exact adjacency.
+  constexpr size_t kFoldLookback = 3;
+  for (const EpochElement& ee : elements) {
+    const HistoryElement& elem = ee.elem;
+    const bool cpu_change = have_prev && ee.epoch != prev_epoch;
+    PathStep* fold = nullptr;
+    if (!cpu_change) {
+      for (size_t back = 0; back < kFoldLookback && back < steps.size(); ++back) {
+        PathStep& candidate = steps[steps.size() - 1 - back];
+        if (back > 0 && candidate.cpu_change) {
+          break;  // never fold across a CPU transition
+        }
+        if (candidate.ip == elem.ip) {
+          fold = &candidate;
+          break;
+        }
+      }
+    }
+    if (fold != nullptr) {
+      fold->offset_lo = std::min(fold->offset_lo, elem.offset);
+      fold->offset_hi = std::max(fold->offset_hi, elem.offset);
+      fold->has_write = fold->has_write || elem.is_write;
+      fold->avg_time += (static_cast<double>(elem.time) - fold->avg_time) /
+                        static_cast<double>(fold->accesses + 1);
+      ++fold->accesses;
+    } else {
+      PathStep step;
+      step.ip = elem.ip;
+      step.cpu_change = cpu_change;
+      step.has_write = elem.is_write;
+      step.offset_lo = elem.offset;
+      step.offset_hi = elem.offset;
+      step.avg_time = static_cast<double>(elem.time);
+      step.accesses = 1;
+      steps.push_back(step);
+    }
+    prev_epoch = ee.epoch;
+    have_prev = true;
+  }
+  return steps;
+}
+
+// Signature for grouping equivalent execution paths: the ip sequence plus
+// cpu-change flags (paper §5.4: "same sequence of ip values and equivalent
+// sequence of cpu values").
+std::vector<uint64_t> SignatureOf(const std::vector<PathStep>& steps) {
+  std::vector<uint64_t> sig;
+  sig.reserve(steps.size());
+  for (const PathStep& step : steps) {
+    sig.push_back((static_cast<uint64_t>(step.ip) << 1) | (step.cpu_change ? 1 : 0));
+  }
+  return sig;
+}
+
+void AugmentWithSamples(TypeId type, const AccessSampleTable& samples,
+                        std::vector<PathStep>* steps) {
+  for (PathStep& step : *steps) {
+    const RangeStats stats = samples.Aggregate(type, step.ip, step.offset_lo,
+                                               step.offset_hi + 3);
+    if (stats.count > 0) {
+      for (int level = 0; level < 5; ++level) {
+        step.level_prob[level] = stats.level_prob[level];
+      }
+      step.avg_latency = stats.avg_latency;
+      step.has_sample_stats = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PathTrace> PathTraceBuilder::Build(TypeId type,
+                                               const std::vector<ObjectHistory>& histories,
+                                               const AccessSampleTable& samples,
+                                               const PathTraceOptions& options) {
+  // 1. Assemble element sequences. Default: one sequence per history.
+  //    combine_sweeps: bucket histories by (sweep, migration shape) into
+  //    whole-object combined sequences (for pair-sampled data).
+  std::vector<std::vector<EpochElement>> sequences;
+  if (options.combine_sweeps) {
+    std::map<std::pair<uint32_t, uint64_t>, std::vector<EpochElement>> by_sweep;
+    for (const ObjectHistory& history : histories) {
+      if (history.type != type || history.elements.empty()) {
+        continue;
+      }
+      std::vector<EpochElement> epochized = Epochize(history);
+      const uint64_t shape = MigrationShape(epochized);
+      auto& elems = by_sweep[{history.sweep, shape}];
+      elems.insert(elems.end(), epochized.begin(), epochized.end());
+    }
+    for (auto& [key, elements] : by_sweep) {
+      sequences.push_back(std::move(elements));
+    }
+  } else {
+    for (const ObjectHistory& history : histories) {
+      if (history.type != type || history.elements.empty()) {
+        continue;
+      }
+      sequences.push_back(Epochize(history));
+    }
+  }
+
+  // 2. Collapse each sequence and group by signature.
+  std::map<std::vector<uint64_t>, PathTrace> grouped;
+  for (auto& elements : sequences) {
+    if (elements.empty()) {
+      continue;
+    }
+    std::vector<PathStep> steps = CollapseToSteps(std::move(elements));
+    std::vector<uint64_t> sig = SignatureOf(steps);
+    auto it = grouped.find(sig);
+    if (it == grouped.end()) {
+      PathTrace trace;
+      trace.type = type;
+      trace.steps = std::move(steps);
+      trace.frequency = 1;
+      grouped.emplace(std::move(sig), std::move(trace));
+    } else {
+      PathTrace& trace = it->second;
+      ++trace.frequency;
+      for (size_t i = 0; i < trace.steps.size(); ++i) {
+        PathStep& dst = trace.steps[i];
+        const PathStep& src = steps[i];
+        dst.offset_lo = std::min(dst.offset_lo, src.offset_lo);
+        dst.offset_hi = std::max(dst.offset_hi, src.offset_hi);
+        dst.has_write = dst.has_write || src.has_write;
+        dst.avg_time += (src.avg_time - dst.avg_time) / static_cast<double>(trace.frequency);
+        dst.accesses += src.accesses;
+      }
+    }
+  }
+
+  // 3. Augment with access-sample statistics and sort by frequency.
+  std::vector<PathTrace> out;
+  out.reserve(grouped.size());
+  for (auto& [sig, trace] : grouped) {
+    AugmentWithSamples(type, samples, &trace.steps);
+    out.push_back(std::move(trace));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathTrace& a, const PathTrace& b) { return a.frequency > b.frequency; });
+  return out;
+}
+
+size_t PathTraceBuilder::CountUniqueSignatures(const std::vector<ObjectHistory>& histories) {
+  std::unordered_set<std::string> signatures;
+  for (const ObjectHistory& history : histories) {
+    if (history.elements.empty()) {
+      continue;
+    }
+    std::vector<PathStep> steps = CollapseToSteps(Epochize(history));
+    std::string sig;
+    sig.reserve(steps.size() * 10);
+    char buf[32];
+    // Per-history signatures also record the watched offset: the same
+    // functions touching different members count as different paths.
+    std::snprintf(buf, sizeof(buf), "@%u|", history.watch_offsets[0]);
+    sig += buf;
+    for (const PathStep& step : steps) {
+      std::snprintf(buf, sizeof(buf), "%u%c,", step.ip, step.cpu_change ? '!' : '.');
+      sig += buf;
+    }
+    signatures.insert(std::move(sig));
+  }
+  return signatures.size();
+}
+
+std::string PathTraceBuilder::ToTable(const PathTrace& trace, const SymbolTable& symbols) {
+  TablePrinter table({"Avg time", "Program counter", "CPU change", "Offsets",
+                      "Cache hit probability", "Access time"});
+  table.SetAlign(1, TablePrinter::Align::kLeft);
+  table.SetAlign(4, TablePrinter::Align::kLeft);
+  for (const PathStep& step : trace.steps) {
+    std::string probs;
+    if (step.has_sample_stats) {
+      for (int level = 0; level < 5; ++level) {
+        if (step.level_prob[level] >= 0.005) {
+          if (!probs.empty()) {
+            probs += ", ";
+          }
+          probs += TablePrinter::Fixed(step.level_prob[level] * 100.0, 0) + "% " +
+                   ServedByName(static_cast<ServedBy>(level));
+        }
+      }
+    } else {
+      probs = "-";
+    }
+    char offsets[48];
+    std::snprintf(offsets, sizeof(offsets), "%u-%u", step.offset_lo, step.offset_hi);
+    table.AddRow({TablePrinter::Count(static_cast<uint64_t>(step.avg_time)),
+                  symbols.Name(step.ip) + "()", step.cpu_change ? "yes" : "no", offsets, probs,
+                  step.has_sample_stats
+                      ? TablePrinter::Fixed(step.avg_latency, 0) + " cyc"
+                      : "-"});
+  }
+  std::string out = table.ToString();
+  out += "frequency: " + TablePrinter::Count(trace.frequency) + "\n";
+  return out;
+}
+
+}  // namespace dprof

@@ -1,0 +1,87 @@
+// Path traces (paper §4, Table 4.1; construction per §5.4).
+//
+// A path trace summarizes the life of objects of one type along one
+// execution path: the sequence of program counters that touched the object,
+// whether each was on a new CPU, the offsets accessed, per-step cache-hit
+// probabilities and latencies (joined in from the access samples), and the
+// frequency with which the path was observed.
+//
+// Construction: object access histories of one history set (a sweep
+// covering every watched offset) are merged on the time-since-allocation
+// axis into one combined history per set; consecutive elements with the
+// same ip and cpu collapse into steps; sets whose step signature (ip
+// sequence + cpu-change flags) matches are aggregated, and the signature's
+// multiplicity is the path frequency.
+
+#ifndef DPROF_SRC_DPROF_PATH_TRACE_H_
+#define DPROF_SRC_DPROF_PATH_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dprof/access_sample.h"
+#include "src/dprof/history.h"
+#include "src/machine/symbol_table.h"
+
+namespace dprof {
+
+struct PathStep {
+  FunctionId ip = kInvalidFunction;
+  bool cpu_change = false;
+  bool has_write = false;
+  uint32_t offset_lo = 0;
+  uint32_t offset_hi = 0;
+  double avg_time = 0.0;  // cycles since allocation
+  uint64_t accesses = 0;
+  // Augmented from access samples (paper §5.4):
+  double level_prob[5] = {0, 0, 0, 0, 0};
+  double avg_latency = 0.0;
+  bool has_sample_stats = false;
+};
+
+struct PathTrace {
+  TypeId type = kInvalidType;
+  std::vector<PathStep> steps;
+  uint64_t frequency = 0;
+
+  bool Bounces() const;
+  // Whether any step's cache line [offset/64] was previously written by a
+  // different CPU — the invalidation-miss signature (paper §4.3).
+  bool HasInvalidationPattern(uint32_t line_size = 64) const;
+};
+
+struct PathTraceOptions {
+  // When false (default), each object access history becomes its own
+  // ordered path — always truthful, since a history is a real ordered
+  // record of one offset's accesses; histories with the same signature
+  // aggregate, so their offset ranges union naturally.
+  //
+  // When true, all histories of one history set are merged into combined
+  // whole-object paths on the (epoch, end-aligned time) axis. Inter-offset
+  // order from single-offset histories is under-determined — this mode is
+  // intended for pair-sampled histories, which is exactly why the paper
+  // introduces pairwise sampling (§5.3).
+  bool combine_sweeps = false;
+};
+
+class PathTraceBuilder {
+ public:
+  // Builds path traces, augmented with sample stats.
+  static std::vector<PathTrace> Build(TypeId type,
+                                      const std::vector<ObjectHistory>& histories,
+                                      const AccessSampleTable& samples,
+                                      const PathTraceOptions& options = {});
+
+  // Distinct per-history path signatures (ip + cpu-change sequence of a
+  // single offset's history). This is the "unique paths" metric of paper
+  // Figure 6-3.
+  static size_t CountUniqueSignatures(const std::vector<ObjectHistory>& histories);
+
+  // Renders a Table 4.1-style listing of one path trace.
+  static std::string ToTable(const PathTrace& trace, const SymbolTable& symbols);
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_DPROF_PATH_TRACE_H_

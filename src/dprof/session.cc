@@ -1,0 +1,114 @@
+#include "src/dprof/session.h"
+
+namespace dprof {
+
+DProfSession::DProfSession(Machine* machine, SlabAllocator* allocator,
+                           const DProfOptions& options)
+    : machine_(machine), allocator_(allocator), options_(options), addresses_(options.address_set) {
+  ibs_ = std::make_unique<IbsUnit>(machine_->num_cores(), options_.ibs);
+  ibs_->SetHandler([this](const IbsSample& sample) {
+    // The interrupt handler resolves the data address to its type via the
+    // allocator (paper §5.2); the cycle cost is part of the IBS config.
+    samples_.Record(sample, allocator_->Resolve(sample.vaddr));
+  });
+  debug_regs_ = std::make_unique<DebugRegisterFile>();
+  debug_regs_->set_costs(options_.debug_costs);
+
+  machine_->AddPmuHook(ibs_.get());
+  machine_->AddPmuHook(debug_regs_.get());
+  allocator_->AddObserver(&addresses_);
+}
+
+DProfSession::~DProfSession() {
+  allocator_->RemoveObserver(&addresses_);
+  machine_->RemovePmuHook(ibs_.get());
+  machine_->RemovePmuHook(debug_regs_.get());
+}
+
+void DProfSession::CollectAccessSamples(uint64_t cycles) {
+  ibs_->SetPeriod(options_.ibs_period_ops);
+  machine_->RunFor(cycles);
+  ibs_->SetPeriod(0);
+  profile_end_ = machine_->MaxClock();
+}
+
+uint64_t DProfSession::CollectHistories(TypeId type, uint32_t sets) {
+  HistoryCollectorOptions history_options = options_.history;
+  history_options.max_sets = sets;
+
+  const uint32_t object_size = allocator_->registry().Size(type);
+  HistoryCollector collector(machine_, debug_regs_.get(), type, object_size, history_options);
+  allocator_->AddObserver(&collector);
+
+  const uint64_t start = machine_->MaxClock();
+  const uint64_t deadline = start + options_.history_phase_max_cycles;
+  while (!collector.done() && machine_->MaxClock() < deadline) {
+    machine_->RunFor(200'000);
+  }
+  collector.Stop();
+  allocator_->RemoveObserver(&collector);
+  const uint64_t elapsed = machine_->MaxClock() - start;
+
+  auto& stored = histories_[type];
+  auto collected = collector.TakeHistories();
+  for (auto& history : collected) {
+    stored.push_back(std::move(history));
+  }
+  HistoryOverhead& overhead = overheads_[type];
+  const HistoryOverhead& delta = collector.overhead();
+  overhead.interrupt_cycles += delta.interrupt_cycles;
+  overhead.reserve_cycles += delta.reserve_cycles;
+  overhead.comm_cycles += delta.comm_cycles;
+  overhead.objects_profiled += delta.objects_profiled;
+  overhead.elements_recorded += delta.elements_recorded;
+  profile_end_ = machine_->MaxClock();
+  return elapsed;
+}
+
+void DProfSession::CollectHistoriesForTopTypes(size_t top_k, uint32_t sets) {
+  const DataProfile profile = BuildDataProfile();
+  for (const TypeId type : profile.TopTypes(top_k)) {
+    CollectHistories(type, sets);
+  }
+}
+
+DataProfile DProfSession::BuildDataProfile() const {
+  const uint64_t now = profile_end_ == 0 ? machine_->MaxClock() : profile_end_;
+  return DataProfile::Build(allocator_->registry(), samples_, addresses_, now);
+}
+
+WorkingSetView DProfSession::BuildWorkingSet(const WorkingSetOptions& options) const {
+  const uint64_t now = profile_end_ == 0 ? machine_->MaxClock() : profile_end_;
+  return WorkingSetView::Build(allocator_->registry(), addresses_, samples_, now, options);
+}
+
+std::vector<PathTrace> DProfSession::BuildPathTraces(TypeId type,
+                                                     const PathTraceOptions& options) const {
+  return PathTraceBuilder::Build(type, histories(type), samples_, options);
+}
+
+DataFlowGraph DProfSession::BuildDataFlow(TypeId type, const DataFlowOptions& options) const {
+  return DataFlowGraph::Build(BuildPathTraces(type), machine_->symbols(), options);
+}
+
+std::vector<MissClassRow> DProfSession::ClassifyMisses(
+    const WorkingSetOptions& ws_options) const {
+  const WorkingSetView working_set = BuildWorkingSet(ws_options);
+  std::vector<std::vector<PathTrace>> traces;
+  for (const auto& [type, histories] : histories_) {
+    traces.push_back(PathTraceBuilder::Build(type, histories, samples_));
+  }
+  return MissClassifier::Build(allocator_->registry(), samples_, working_set, traces);
+}
+
+const std::vector<ObjectHistory>& DProfSession::histories(TypeId type) const {
+  auto it = histories_.find(type);
+  return it == histories_.end() ? empty_histories_ : it->second;
+}
+
+const HistoryOverhead& DProfSession::history_overhead(TypeId type) const {
+  auto it = overheads_.find(type);
+  return it == overheads_.end() ? empty_overhead_ : it->second;
+}
+
+}  // namespace dprof

@@ -1,0 +1,174 @@
+#include "src/machine/machine.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dprof {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      hierarchy_(config.hierarchy),
+      clocks_(config.hierarchy.num_cores, 0),
+      drivers_(config.hierarchy.num_cores, nullptr) {
+  rngs_.reserve(config.hierarchy.num_cores);
+  for (int c = 0; c < config.hierarchy.num_cores; ++c) {
+    rngs_.emplace_back(config.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(c) + 1);
+  }
+}
+
+void Machine::RemoveObserver(MachineObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void Machine::RemovePmuHook(PmuHook* hook) {
+  pmu_hooks_.erase(std::remove(pmu_hooks_.begin(), pmu_hooks_.end(), hook), pmu_hooks_.end());
+}
+
+uint64_t Machine::MinClock() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+uint64_t Machine::MaxClock() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+int Machine::MinClockCore() const {
+  int best = 0;
+  for (int c = 1; c < num_cores(); ++c) {
+    if (clocks_[c] < clocks_[best]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Machine::StepCore(int core) {
+  CoreDriver* driver = drivers_[core];
+  bool did_work = false;
+  if (driver != nullptr) {
+    CoreContext ctx(this, core);
+    did_work = driver->Step(ctx);
+  }
+  if (!did_work) {
+    clocks_[core] += config_.idle_cycles;
+  }
+}
+
+void Machine::RunFor(uint64_t cycles) {
+  const uint64_t deadline = MinClock() + cycles;
+  while (MinClock() < deadline) {
+    StepCore(MinClockCore());
+  }
+}
+
+void Machine::RunSteps(uint64_t steps) {
+  for (uint64_t i = 0; i < steps; ++i) {
+    StepCore(MinClockCore());
+  }
+}
+
+CoreContext Machine::Context(int core) {
+  DPROF_CHECK(core >= 0 && core < num_cores());
+  return CoreContext(this, core);
+}
+
+AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool is_write) {
+  // A large access (memcpy, DMA fetch) is really a loop of line-sized
+  // loads/stores; model it that way so each simulated "instruction" touches
+  // at most one cache line. This keeps IBS sampling probability proportional
+  // to the number of instructions, as on real hardware.
+  Machine& m = *machine_;
+  const uint32_t line_size = m.hierarchy_.line_size();
+  AccessResult total;
+
+  Addr at = addr;
+  uint32_t remaining = size;
+  while (remaining > 0) {
+    const uint32_t line_room = static_cast<uint32_t>(line_size - (at % line_size));
+    const uint32_t chunk = remaining < line_room ? remaining : line_room;
+    const AccessResult r = m.hierarchy_.Access(core_, at, chunk, is_write, now());
+    m.clocks_[core_] += m.config_.base_op_cost + r.latency;
+
+    total.latency += r.latency;
+    total.level = std::max(total.level, r.level);
+    total.l1_miss = total.l1_miss || r.l1_miss;
+    total.invalidation = total.invalidation || r.invalidation;
+    total.lines += r.lines;
+
+    AccessEvent event;
+    event.core = core_;
+    event.ip = ip;
+    event.addr = at;
+    event.size = chunk;
+    event.is_write = is_write;
+    event.level = r.level;
+    event.latency = r.latency;
+    event.invalidation = r.invalidation;
+    event.now = m.clocks_[core_];
+
+    for (MachineObserver* obs : m.observers_) {
+      obs->OnAccess(event);
+    }
+    for (PmuHook* hook : m.pmu_hooks_) {
+      const uint64_t extra = hook->OnAccess(event);
+      if (extra != 0) {
+        // Interrupt + handler cost lands on the executing core but is not
+        // attributed to the workload function.
+        m.clocks_[core_] += extra;
+      }
+    }
+    at += chunk;
+    remaining -= chunk;
+  }
+  return total;
+}
+
+void CoreContext::Compute(FunctionId ip, uint64_t cycles) {
+  Machine& m = *machine_;
+  m.clocks_[core_] += cycles;
+  for (MachineObserver* obs : m.observers_) {
+    obs->OnCompute(core_, ip, cycles, m.clocks_[core_]);
+  }
+}
+
+Addr CoreContext::Alloc(TypeId type, FunctionId ip) {
+  DPROF_CHECK(machine_->allocator_ != nullptr);
+  return machine_->allocator_->Alloc(*this, type, ip);
+}
+
+void CoreContext::Free(Addr addr, FunctionId ip) {
+  DPROF_CHECK(machine_->allocator_ != nullptr);
+  machine_->allocator_->Free(*this, addr, ip);
+}
+
+void CoreContext::LockAcquire(SimLock& lock, FunctionId ip) {
+  Machine& m = *machine_;
+  uint64_t wait = 0;
+  if (lock.free_at_ > now()) {
+    wait = lock.free_at_ - now();
+    m.clocks_[core_] = lock.free_at_;
+  }
+  // Grab the lock word exclusively: coherence traffic on contended locks.
+  Access(ip, lock.word_, 8, true);
+  lock.holder_ = core_;
+  lock.acquired_at_ = now();
+  if (m.lock_observer_ != nullptr) {
+    m.lock_observer_->OnAcquire(lock, core_, ip, wait, now());
+  }
+}
+
+void CoreContext::LockRelease(SimLock& lock, FunctionId ip) {
+  Machine& m = *machine_;
+  DPROF_DCHECK(lock.holder_ == core_);
+  Access(ip, lock.word_, 8, true);
+  const uint64_t hold = now() - lock.acquired_at_;
+  lock.free_at_ = now();
+  lock.holder_ = -1;
+  if (m.lock_observer_ != nullptr) {
+    m.lock_observer_->OnRelease(lock, core_, ip, hold, now());
+  }
+}
+
+}  // namespace dprof

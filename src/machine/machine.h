@@ -1,0 +1,213 @@
+// The simulated multicore machine.
+//
+// A Machine owns the cache hierarchy, per-core cycle clocks, and the
+// scheduling loop. Workloads register one CoreDriver per core; the machine
+// repeatedly steps the core with the smallest local clock, which keeps
+// cross-core cache coherence and lock arbitration in approximately global
+// time order while drivers stay simple sequential request loops.
+//
+// All instrumentation attaches here:
+//  - MachineObserver: sees every access and compute operation (code profiler).
+//  - PmuHook: may raise "interrupts" by returning extra cycles to charge the
+//    executing core (IBS unit, debug registers). PMU overhead inflates core
+//    clocks — and therefore reduces workload throughput — without being
+//    attributed to workload functions, exactly how profiling overhead
+//    manifests on real hardware (paper Figure 6-2).
+
+#ifndef DPROF_SRC_MACHINE_MACHINE_H_
+#define DPROF_SRC_MACHINE_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/machine/symbol_table.h"
+#include "src/sim/hierarchy.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace dprof {
+
+class CoreContext;
+class Machine;
+
+// One memory operation as seen by observers and PMU hooks.
+struct AccessEvent {
+  int core = 0;
+  FunctionId ip = kInvalidFunction;
+  Addr addr = kNullAddr;
+  uint32_t size = 0;
+  bool is_write = false;
+  ServedBy level = ServedBy::kL1;
+  uint32_t latency = 0;       // cycles spent waiting on memory
+  bool invalidation = false;  // simulator ground truth; PMUs must not use it
+  uint64_t now = 0;           // core clock after the access completed
+};
+
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  virtual void OnAccess(const AccessEvent& event) = 0;
+  virtual void OnCompute(int core, FunctionId ip, uint64_t cycles, uint64_t now) = 0;
+};
+
+// Hardware performance-monitoring hook. Returns extra cycles (interrupt and
+// handler cost) to charge to the executing core; 0 if the op was not sampled.
+class PmuHook {
+ public:
+  virtual ~PmuHook() = default;
+  virtual uint64_t OnAccess(const AccessEvent& event) = 0;
+};
+
+// The typed allocator interface the machine exposes to drivers via
+// CoreContext::Alloc/Free. Implemented by SlabAllocator (src/alloc).
+class AllocatorIface {
+ public:
+  virtual ~AllocatorIface() = default;
+  virtual Addr Alloc(CoreContext& ctx, TypeId type, FunctionId ip) = 0;
+  virtual void Free(CoreContext& ctx, Addr addr, FunctionId ip) = 0;
+};
+
+// Per-core workload logic. Step() performs one unit of work (typically one
+// request) and returns true, or returns false if the core has nothing to do
+// (the machine then idles the core forward by config.idle_cycles).
+class CoreDriver {
+ public:
+  virtual ~CoreDriver() = default;
+  virtual bool Step(CoreContext& ctx) = 0;
+};
+
+// A spin lock living at a simulated memory address. Arbitration is
+// time-based: an acquiring core's clock jumps to the lock's free time; the
+// lock word itself is written through the cache hierarchy so contended locks
+// also generate coherence traffic.
+class SimLock {
+ public:
+  SimLock(std::string name, Addr word) : name_(std::move(name)), word_(word) {}
+
+  const std::string& name() const { return name_; }
+  Addr word() const { return word_; }
+
+ private:
+  friend class CoreContext;
+  std::string name_;
+  Addr word_ = kNullAddr;
+  uint64_t free_at_ = 0;
+  uint64_t acquired_at_ = 0;
+  int holder_ = -1;
+};
+
+class LockObserver {
+ public:
+  virtual ~LockObserver() = default;
+  virtual void OnAcquire(const SimLock& lock, int core, FunctionId ip, uint64_t wait_cycles,
+                         uint64_t now) = 0;
+  virtual void OnRelease(const SimLock& lock, int core, FunctionId ip, uint64_t hold_cycles,
+                         uint64_t now) = 0;
+};
+
+struct MachineConfig {
+  HierarchyConfig hierarchy;
+  uint64_t idle_cycles = 2000;  // clock advance when a driver reports no work
+  uint32_t base_op_cost = 1;    // pipeline cost of one op, excluding memory
+  uint64_t seed = 1;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int num_cores() const { return config_.hierarchy.num_cores; }
+  const MachineConfig& config() const { return config_; }
+  CacheHierarchy& hierarchy() { return hierarchy_; }
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  void SetAllocator(AllocatorIface* allocator) { allocator_ = allocator; }
+  void SetDriver(int core, CoreDriver* driver) { drivers_[core] = driver; }
+
+  void AddObserver(MachineObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(MachineObserver* observer);
+  void AddPmuHook(PmuHook* hook) { pmu_hooks_.push_back(hook); }
+  void RemovePmuHook(PmuHook* hook);
+  void SetLockObserver(LockObserver* observer) { lock_observer_ = observer; }
+
+  uint64_t CoreClock(int core) const { return clocks_[core]; }
+  uint64_t MinClock() const;
+  uint64_t MaxClock() const;
+  Rng& CoreRng(int core) { return rngs_[core]; }
+
+  // Runs the scheduling loop until every core clock is >= MinClock() + cycles.
+  void RunFor(uint64_t cycles);
+
+  // Steps the minimum-clock core exactly `steps` times.
+  void RunSteps(uint64_t steps);
+
+  // Charges cycles to a core outside any driver step (PMU setup broadcasts,
+  // interrupt handlers triggered by other cores).
+  void ChargeCycles(int core, uint64_t cycles) { clocks_[core] += cycles; }
+
+  CoreContext Context(int core);
+
+ private:
+  friend class CoreContext;
+
+  int MinClockCore() const;
+  void StepCore(int core);
+
+  MachineConfig config_;
+  CacheHierarchy hierarchy_;
+  SymbolTable symbols_;
+  std::vector<uint64_t> clocks_;
+  std::vector<CoreDriver*> drivers_;
+  std::vector<Rng> rngs_;
+  std::vector<MachineObserver*> observers_;
+  std::vector<PmuHook*> pmu_hooks_;
+  AllocatorIface* allocator_ = nullptr;
+  LockObserver* lock_observer_ = nullptr;
+};
+
+// Lightweight per-core handle passed to drivers and the allocator. All
+// simulated work — memory accesses, compute, allocation, locking — flows
+// through this API so that clocks, observers, and PMU hooks stay consistent.
+class CoreContext {
+ public:
+  CoreContext(Machine* machine, int core) : machine_(machine), core_(core) {}
+
+  int core() const { return core_; }
+  uint64_t now() const { return machine_->clocks_[core_]; }
+  Machine& machine() { return *machine_; }
+  Rng& rng() { return machine_->rngs_[core_]; }
+
+  // Executes one memory-touching instruction at `ip`.
+  AccessResult Access(FunctionId ip, Addr addr, uint32_t size, bool is_write);
+
+  // Convenience wrappers.
+  AccessResult Read(FunctionId ip, Addr addr, uint32_t size) {
+    return Access(ip, addr, size, false);
+  }
+  AccessResult Write(FunctionId ip, Addr addr, uint32_t size) {
+    return Access(ip, addr, size, true);
+  }
+
+  // Executes `cycles` of pure compute attributed to `ip`.
+  void Compute(FunctionId ip, uint64_t cycles);
+
+  // Typed allocation through the machine's allocator.
+  Addr Alloc(TypeId type, FunctionId ip);
+  void Free(Addr addr, FunctionId ip);
+
+  void LockAcquire(SimLock& lock, FunctionId ip);
+  void LockRelease(SimLock& lock, FunctionId ip);
+
+ private:
+  Machine* machine_;
+  int core_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,23 @@
+#include "src/machine/symbol_table.h"
+
+namespace dprof {
+
+FunctionId SymbolTable::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const FunctionId id = static_cast<FunctionId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& SymbolTable::Name(FunctionId id) const {
+  if (id < names_.size()) {
+    return names_[id];
+  }
+  return unknown_;
+}
+
+}  // namespace dprof

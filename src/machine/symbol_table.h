@@ -1,0 +1,36 @@
+// Interning table mapping function names to FunctionIds and back.
+//
+// The simulator models program counters at function granularity: every
+// simulated operation carries the FunctionId of the kernel/application
+// function executing it, which is what the paper's views report.
+
+#ifndef DPROF_SRC_MACHINE_SYMBOL_TABLE_H_
+#define DPROF_SRC_MACHINE_SYMBOL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace dprof {
+
+class SymbolTable {
+ public:
+  // Returns the id for `name`, creating it on first use.
+  FunctionId Intern(const std::string& name);
+
+  // Returns the name for `id`; "?" for unknown ids.
+  const std::string& Name(FunctionId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, FunctionId> ids_;
+  std::vector<std::string> names_;
+  std::string unknown_ = "?";
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_MACHINE_SYMBOL_TABLE_H_

@@ -1,0 +1,63 @@
+#include "src/pmu/debug_registers.h"
+
+#include "src/util/check.h"
+
+namespace dprof {
+
+void DebugRegisterFile::Arm(int reg, Addr base, uint32_t len) {
+  DPROF_CHECK(reg >= 0 && reg < kNumRegisters);
+  DPROF_CHECK(len >= 1 && len <= kMaxWatchBytes);
+  if (!regs_[reg].active) {
+    ++num_active_;
+  }
+  regs_[reg] = Watchpoint{base, len, true};
+}
+
+void DebugRegisterFile::Disarm(int reg) {
+  DPROF_CHECK(reg >= 0 && reg < kNumRegisters);
+  if (regs_[reg].active) {
+    --num_active_;
+  }
+  regs_[reg] = Watchpoint{};
+}
+
+void DebugRegisterFile::DisarmAll() {
+  for (int r = 0; r < kNumRegisters; ++r) {
+    regs_[r] = Watchpoint{};
+  }
+  num_active_ = 0;
+}
+
+int DebugRegisterFile::FreeRegister() const {
+  for (int r = 0; r < kNumRegisters; ++r) {
+    if (!regs_[r].active) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+uint64_t DebugRegisterFile::OnAccess(const AccessEvent& event) {
+  if (num_active_ == 0) {
+    return 0;
+  }
+  uint64_t cost = 0;
+  for (int r = 0; r < kNumRegisters; ++r) {
+    const Watchpoint& wp = regs_[r];
+    if (!wp.active) {
+      continue;
+    }
+    const bool overlaps = event.addr < wp.base + wp.len && wp.base < event.addr + event.size;
+    if (!overlaps) {
+      continue;
+    }
+    ++hits_;
+    cost += costs_.interrupt_cycles;
+    if (handler_) {
+      handler_(event, r);
+    }
+  }
+  return cost;
+}
+
+}  // namespace dprof

@@ -1,0 +1,42 @@
+#include "src/pmu/ibs_unit.h"
+
+namespace dprof {
+
+IbsUnit::IbsUnit(int num_cores, const IbsConfig& config)
+    : config_(config), countdown_(num_cores, 0), rng_(config.seed) {
+  SetPeriod(config.period_ops);
+}
+
+void IbsUnit::SetPeriod(uint64_t period_ops) {
+  config_.period_ops = period_ops;
+  for (auto& cd : countdown_) {
+    cd = period_ops == 0 ? 0 : static_cast<int64_t>(rng_.Jitter(period_ops));
+  }
+}
+
+uint64_t IbsUnit::OnAccess(const AccessEvent& event) {
+  if (config_.period_ops == 0) {
+    return 0;
+  }
+  int64_t& cd = countdown_[event.core];
+  if (--cd > 0) {
+    return 0;
+  }
+  cd = static_cast<int64_t>(rng_.Jitter(config_.period_ops));
+  ++samples_taken_;
+  if (handler_) {
+    IbsSample sample;
+    sample.core = event.core;
+    sample.ip = event.ip;
+    sample.vaddr = event.addr;
+    sample.size = event.size;
+    sample.is_write = event.is_write;
+    sample.level = event.level;
+    sample.latency = event.latency;
+    sample.now = event.now;
+    handler_(sample);
+  }
+  return config_.interrupt_cycles + config_.handler_cycles;
+}
+
+}  // namespace dprof

@@ -1,0 +1,98 @@
+#include "src/sim/cache.h"
+
+namespace dprof {
+
+Cache::Cache(const CacheGeometry& geometry)
+    : geometry_(geometry),
+      ways_(geometry.NumSets() * geometry.ways),
+      set_fills_(geometry.NumSets(), 0) {
+  DPROF_CHECK(geometry.line_size > 0);
+  DPROF_CHECK(geometry.ways > 0);
+  DPROF_CHECK(geometry.size_bytes % (static_cast<uint64_t>(geometry.line_size) * geometry.ways) ==
+              0);
+  DPROF_CHECK(geometry.NumSets() > 0);
+}
+
+Cache::Way* Cache::FindWay(uint64_t set, uint64_t line) {
+  Way* base = &ways_[set * geometry_.ways];
+  for (uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].line == line) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::FindWay(uint64_t set, uint64_t line) const {
+  const Way* base = &ways_[set * geometry_.ways];
+  for (uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].line == line) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+bool Cache::Touch(uint64_t line, uint64_t now) {
+  Way* way = FindWay(geometry_.SetOf(line), line);
+  if (way != nullptr) {
+    way->last_use = now;
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool Cache::Contains(uint64_t line) const {
+  return FindWay(geometry_.SetOf(line), line) != nullptr;
+}
+
+std::optional<uint64_t> Cache::Insert(uint64_t line, uint64_t now) {
+  const uint64_t set = geometry_.SetOf(line);
+  if (Way* existing = FindWay(set, line); existing != nullptr) {
+    existing->last_use = now;
+    return std::nullopt;
+  }
+  ++stats_.fills;
+  ++set_fills_[set];
+
+  Way* base = &ways_[set * geometry_.ways];
+  Way* victim = nullptr;
+  for (uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].line == kInvalidLine) {
+      base[w] = Way{line, now};
+      return std::nullopt;
+    }
+    if (victim == nullptr || base[w].last_use < victim->last_use) {
+      victim = &base[w];
+    }
+  }
+  const uint64_t evicted = victim->line;
+  *victim = Way{line, now};
+  ++stats_.evictions;
+  return evicted;
+}
+
+bool Cache::Remove(uint64_t line) {
+  Way* way = FindWay(geometry_.SetOf(line), line);
+  if (way == nullptr) {
+    return false;
+  }
+  way->line = kInvalidLine;
+  way->last_use = 0;
+  ++stats_.invalidations;
+  return true;
+}
+
+uint64_t Cache::Occupancy() const {
+  uint64_t n = 0;
+  for (const Way& w : ways_) {
+    if (w.line != kInvalidLine) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace dprof

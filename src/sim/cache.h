@@ -1,0 +1,87 @@
+// N-way set-associative cache model with per-set LRU replacement.
+//
+// Addresses are tracked at cache-line granularity ("line numbers" =
+// byte address / line size). The cache knows nothing about coherence; the
+// hierarchy layers MESI-style state on top via the coherence directory.
+
+#ifndef DPROF_SRC_SIM_CACHE_H_
+#define DPROF_SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace dprof {
+
+struct CacheGeometry {
+  uint64_t size_bytes = 32 * 1024;
+  uint32_t line_size = 64;
+  uint32_t ways = 8;
+
+  uint64_t NumSets() const { return size_bytes / (static_cast<uint64_t>(line_size) * ways); }
+  uint64_t LineOf(Addr addr) const { return addr / line_size; }
+  uint64_t SetOf(uint64_t line) const { return line % NumSets(); }
+};
+
+// Per-cache counters, exposed for tests and the simulator-side ground truth.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t fills = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheGeometry& geometry);
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+  // Looks up `line`; on hit refreshes LRU state and returns true.
+  // Counts a hit or miss in stats().
+  bool Touch(uint64_t line, uint64_t now);
+
+  // Presence check with no LRU or stats side effects.
+  bool Contains(uint64_t line) const;
+
+  // Inserts `line`, evicting the LRU way if the set is full. Returns the
+  // evicted line, if any. Inserting a line that is already present just
+  // refreshes it and returns nullopt.
+  std::optional<uint64_t> Insert(uint64_t line, uint64_t now);
+
+  // Removes `line` (coherence invalidation or explicit flush).
+  // Returns true if the line was present.
+  bool Remove(uint64_t line);
+
+  // Number of valid lines currently cached.
+  uint64_t Occupancy() const;
+
+  // Number of fills that ever targeted associativity set `set`.
+  uint64_t FillsOfSet(uint64_t set) const { return set_fills_[set]; }
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    uint64_t line = kInvalidLine;
+    uint64_t last_use = 0;
+  };
+
+  static constexpr uint64_t kInvalidLine = ~0ull;
+
+  Way* FindWay(uint64_t set, uint64_t line);
+  const Way* FindWay(uint64_t set, uint64_t line) const;
+
+  CacheGeometry geometry_;
+  std::vector<Way> ways_;  // NumSets() * ways, row-major by set.
+  std::vector<uint64_t> set_fills_;
+  CacheStats stats_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_SIM_CACHE_H_

@@ -1,0 +1,212 @@
+#include "src/sim/hierarchy.h"
+
+#include <algorithm>
+
+namespace dprof {
+
+const char* ServedByName(ServedBy level) {
+  switch (level) {
+    case ServedBy::kL1:
+      return "local L1";
+    case ServedBy::kL2:
+      return "local L2";
+    case ServedBy::kL3:
+      return "shared L3";
+    case ServedBy::kForeignCache:
+      return "foreign cache";
+    case ServedBy::kDram:
+      return "DRAM";
+  }
+  return "?";
+}
+
+uint32_t LatencyModel::Of(ServedBy level) const {
+  switch (level) {
+    case ServedBy::kL1:
+      return l1;
+    case ServedBy::kL2:
+      return l2;
+    case ServedBy::kL3:
+      return l3;
+    case ServedBy::kForeignCache:
+      return foreign;
+    case ServedBy::kDram:
+      return dram;
+  }
+  return dram;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config), l3_(config.l3), core_stats_(config.num_cores) {
+  DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 32);
+  DPROF_CHECK(config.l1.line_size == config.l2.line_size &&
+              config.l2.line_size == config.l3.line_size);
+  l1_.reserve(config.num_cores);
+  l2_.reserve(config.num_cores);
+  for (int c = 0; c < config.num_cores; ++c) {
+    l1_.emplace_back(config.l1);
+    l2_.emplace_back(config.l2);
+  }
+}
+
+void CacheHierarchy::InvalidateFrom(int c, uint64_t line, DirEntry* entry) {
+  const bool in_l1 = l1_[c].Remove(line);
+  const bool in_l2 = l2_[c].Remove(line);
+  if (in_l1 || in_l2) {
+    entry->invalidated_from |= 1u << c;
+  }
+  entry->sharers &= ~(1u << c);
+  if (entry->modified_owner == c) {
+    entry->modified_owner = -1;
+  }
+}
+
+void CacheHierarchy::HandlePrivateEviction(int c, uint64_t victim, uint64_t now) {
+  if (l1_[c].Contains(victim) || l2_[c].Contains(victim)) {
+    return;  // still held by the other private level
+  }
+  auto it = dir_.find(victim);
+  if (it == dir_.end()) {
+    return;
+  }
+  DirEntry& entry = it->second;
+  entry.sharers &= ~(1u << c);
+  if (entry.modified_owner == c) {
+    // Dirty victim: write back into the shared L3.
+    entry.modified_owner = -1;
+    l3_.Insert(victim, now);
+  }
+}
+
+void CacheHierarchy::AccessLine(int core, uint64_t line, bool is_write, uint64_t now,
+                                ServedBy* level, bool* invalidation) {
+  DirEntry& entry = dir_[line];
+  *invalidation = false;
+
+  if (l1_[core].Touch(line, now)) {
+    *level = ServedBy::kL1;
+  } else if (l2_[core].Touch(line, now)) {
+    *level = ServedBy::kL2;
+    if (auto evicted = l1_[core].Insert(line, now)) {
+      HandlePrivateEviction(core, *evicted, now);
+    }
+  } else {
+    // Private miss. Was it caused by a remote write invalidating our copy?
+    if ((entry.invalidated_from >> core) & 1u) {
+      *invalidation = true;
+      entry.invalidated_from &= ~(1u << core);
+    }
+
+    const uint32_t others = entry.sharers & ~(1u << core);
+    if (entry.modified_owner >= 0 && entry.modified_owner != core) {
+      // Dirty in another core's cache: cache-to-cache transfer. The owner
+      // writes back and keeps a shared copy; L3 picks up the data.
+      *level = ServedBy::kForeignCache;
+      entry.modified_owner = -1;
+      l3_.Insert(line, now);
+    } else if (l3_.Touch(line, now)) {
+      *level = ServedBy::kL3;
+    } else if (others != 0) {
+      // Clean copy only in a sibling's private cache: cache-to-cache transfer.
+      *level = ServedBy::kForeignCache;
+      l3_.Insert(line, now);
+    } else {
+      *level = ServedBy::kDram;
+      l3_.Insert(line, now);
+    }
+
+    if (auto evicted = l2_[core].Insert(line, now)) {
+      HandlePrivateEviction(core, *evicted, now);
+    }
+    if (auto evicted = l1_[core].Insert(line, now)) {
+      HandlePrivateEviction(core, *evicted, now);
+    }
+    entry.sharers |= 1u << core;
+  }
+
+  if (is_write) {
+    uint32_t others = entry.sharers & ~(1u << core);
+    while (others != 0) {
+      const int victim_core = __builtin_ctz(others);
+      others &= others - 1;
+      InvalidateFrom(victim_core, line, &entry);
+    }
+    entry.modified_owner = static_cast<int8_t>(core);
+    entry.sharers |= 1u << core;
+    // The L3 copy is now stale; drop it so remote readers must fetch from us.
+    l3_.Remove(line);
+  }
+}
+
+AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_write,
+                                    uint64_t now) {
+  DPROF_DCHECK(core >= 0 && core < config_.num_cores);
+  DPROF_DCHECK(size > 0);
+  AccessResult result;
+  const uint32_t line_size = config_.l1.line_size;
+  const uint64_t first = addr / line_size;
+  const uint64_t last = (addr + size - 1) / line_size;
+
+  CoreMemStats& stats = core_stats_[core];
+  for (uint64_t line = first; line <= last; ++line) {
+    ServedBy level = ServedBy::kL1;
+    bool invalidation = false;
+    AccessLine(core, line, is_write, now, &level, &invalidation);
+
+    result.latency += config_.latency.Of(level);
+    result.level = std::max(result.level, level);
+    result.l1_miss = result.l1_miss || level != ServedBy::kL1;
+    result.invalidation = result.invalidation || invalidation;
+    ++result.lines;
+
+    ++stats.accesses;
+    ++stats.served[static_cast<int>(level)];
+    if (level == ServedBy::kL1) {
+      ++stats.l1_hits;
+    } else {
+      ++stats.l1_misses;
+    }
+    if (invalidation) {
+      ++stats.invalidation_misses;
+    }
+  }
+  return result;
+}
+
+bool CacheHierarchy::InPrivateCache(int core, Addr addr) const {
+  const uint64_t line = addr / config_.l1.line_size;
+  return l1_[core].Contains(line) || l2_[core].Contains(line);
+}
+
+ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
+  const uint64_t line = addr / config_.l1.line_size;
+  if (l1_[core].Contains(line)) {
+    return ServedBy::kL1;
+  }
+  if (l2_[core].Contains(line)) {
+    return ServedBy::kL2;
+  }
+  auto it = dir_.find(line);
+  if (it != dir_.end() && it->second.modified_owner >= 0 &&
+      it->second.modified_owner != core) {
+    return ServedBy::kForeignCache;
+  }
+  if (l3_.Contains(line)) {
+    return ServedBy::kL3;
+  }
+  if (it != dir_.end() && (it->second.sharers & ~(1u << core)) != 0) {
+    return ServedBy::kForeignCache;
+  }
+  return ServedBy::kDram;
+}
+
+void CacheHierarchy::FlushAll() {
+  for (int c = 0; c < config_.num_cores; ++c) {
+    l1_[c] = Cache(config_.l1);
+    l2_[c] = Cache(config_.l2);
+  }
+  l3_ = Cache(config_.l3);
+  dir_.clear();
+}
+
+}  // namespace dprof

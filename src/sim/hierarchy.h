@@ -1,0 +1,121 @@
+// Multicore coherent cache hierarchy: private L1/L2 per core, shared L3,
+// DRAM, and an MSI-style directory tracking which private caches hold each
+// line and who last wrote it.
+//
+// This is the hardware substrate the paper ran on (a 16-core AMD machine).
+// It supplies everything DProf observes through the PMU: the cache level that
+// served each access, access latency, and (for the simulator-side ground
+// truth used in tests) whether a miss was caused by a remote invalidation.
+
+#ifndef DPROF_SRC_SIM_HIERARCHY_H_
+#define DPROF_SRC_SIM_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/cache.h"
+#include "src/util/types.h"
+
+namespace dprof {
+
+// Where a memory access was satisfied. Order matters: larger is slower.
+enum class ServedBy : uint8_t {
+  kL1 = 0,
+  kL2 = 1,
+  kL3 = 2,
+  kForeignCache = 3,  // another core's private cache (modified or exclusive)
+  kDram = 4,
+};
+
+const char* ServedByName(ServedBy level);
+
+struct LatencyModel {
+  uint32_t l1 = 3;
+  uint32_t l2 = 14;
+  uint32_t l3 = 50;
+  uint32_t foreign = 200;
+  uint32_t dram = 250;
+
+  uint32_t Of(ServedBy level) const;
+};
+
+// Result of one (possibly multi-line) access.
+struct AccessResult {
+  uint32_t latency = 0;        // summed over all lines touched
+  ServedBy level = ServedBy::kL1;  // slowest level among touched lines
+  bool l1_miss = false;        // any line missed the local L1
+  bool invalidation = false;   // any line miss caused by a remote write
+  uint32_t lines = 0;          // number of cache lines spanned
+};
+
+struct HierarchyConfig {
+  int num_cores = 16;
+  CacheGeometry l1{32 * 1024, 64, 8};
+  CacheGeometry l2{512 * 1024, 64, 16};
+  CacheGeometry l3{16 * 1024 * 1024, 64, 16};
+  LatencyModel latency;
+};
+
+// Per-core aggregate counters (ground truth, not what DProf sees).
+struct CoreMemStats {
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t served[5] = {0, 0, 0, 0, 0};  // indexed by ServedBy
+  uint64_t invalidation_misses = 0;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config);
+
+  CacheHierarchy(const CacheHierarchy&) = delete;
+  CacheHierarchy& operator=(const CacheHierarchy&) = delete;
+
+  // Performs an access to [addr, addr + size) by `core` at time `now`.
+  AccessResult Access(int core, Addr addr, uint32_t size, bool is_write, uint64_t now);
+
+  const HierarchyConfig& config() const { return config_; }
+  uint32_t line_size() const { return config_.l1.line_size; }
+
+  // Introspection for tests and profilers.
+  bool InPrivateCache(int core, Addr addr) const;
+  ServedBy ProbeLevel(int core, Addr addr) const;  // level a read would hit now
+  const CoreMemStats& core_stats(int core) const { return core_stats_[core]; }
+  const Cache& l1(int core) const { return l1_[core]; }
+  const Cache& l2(int core) const { return l2_[core]; }
+  const Cache& l3() const { return l3_; }
+
+  // Drops every cached line (used between benchmark phases).
+  void FlushAll();
+
+ private:
+  struct DirEntry {
+    uint32_t sharers = 0;           // cores whose private caches may hold the line
+    int8_t modified_owner = -1;     // core with a dirty copy, or -1
+    uint32_t invalidated_from = 0;  // cores that lost the line to a remote write
+  };
+
+  // Serves a single line access; returns its level and whether the private
+  // miss was caused by an earlier remote invalidation.
+  void AccessLine(int core, uint64_t line, bool is_write, uint64_t now, ServedBy* level,
+                  bool* invalidation);
+
+  // Removes `line` from core `c`'s private caches, updating the directory.
+  void InvalidateFrom(int c, uint64_t line, DirEntry* entry);
+
+  // Handles a victim evicted from one of core `c`'s private caches.
+  void HandlePrivateEviction(int c, uint64_t victim, uint64_t now);
+
+  HierarchyConfig config_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  Cache l3_;
+  std::unordered_map<uint64_t, DirEntry> dir_;
+  std::vector<CoreMemStats> core_stats_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_SIM_HIERARCHY_H_

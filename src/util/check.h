@@ -1,0 +1,36 @@
+// Lightweight invariant checking for the simulator.
+//
+// DPROF_CHECK is always on (simulation correctness beats raw speed here);
+// DPROF_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+
+#ifndef DPROF_SRC_UTIL_CHECK_H_
+#define DPROF_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dprof {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "DPROF_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dprof
+
+#define DPROF_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::dprof::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPROF_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define DPROF_DCHECK(expr) DPROF_CHECK(expr)
+#endif
+
+#endif  // DPROF_SRC_UTIL_CHECK_H_

@@ -1,0 +1,54 @@
+#include "src/util/dot.h"
+
+#include <cstdio>
+
+namespace dprof {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+DotWriter::DotWriter(std::string graph_name) : name_(std::move(graph_name)) {}
+
+int DotWriter::AddNode(const std::string& label, bool dark) {
+  nodes_.push_back(Node{label, dark});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void DotWriter::AddEdge(int from, int to, uint64_t weight, bool bold) {
+  edges_.push_back(Edge{from, to, weight, bold});
+}
+
+std::string DotWriter::ToString() const {
+  std::string out = "digraph \"" + EscapeLabel(name_) + "\" {\n";
+  out += "  node [shape=box, style=filled, fillcolor=white];\n";
+  char buf[256];
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "  n%zu [label=\"%s\"%s];\n", i,
+                  EscapeLabel(nodes_[i].label).c_str(),
+                  nodes_[i].dark ? ", fillcolor=gray55, fontcolor=white" : "");
+    out += buf;
+  }
+  for (const auto& e : edges_) {
+    std::snprintf(buf, sizeof(buf), "  n%d -> n%d [label=\"%llu\"%s];\n", e.from, e.to,
+                  static_cast<unsigned long long>(e.weight),
+                  e.bold ? ", penwidth=3, color=black" : "");
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dprof

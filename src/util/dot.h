@@ -1,0 +1,45 @@
+// Graphviz DOT emission for DProf's data flow view (paper Figure 6-1).
+//
+// Nodes are functions; edges carry frequencies; "bold" edges mark CPU
+// transitions and "dark" nodes mark high average access latency, mirroring the
+// figure's legend.
+
+#ifndef DPROF_SRC_UTIL_DOT_H_
+#define DPROF_SRC_UTIL_DOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dprof {
+
+class DotWriter {
+ public:
+  explicit DotWriter(std::string graph_name);
+
+  // Returns the node id.
+  int AddNode(const std::string& label, bool dark);
+  void AddEdge(int from, int to, uint64_t weight, bool bold);
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    std::string label;
+    bool dark = false;
+  };
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    uint64_t weight = 0;
+    bool bold = false;
+  };
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_DOT_H_

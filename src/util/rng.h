@@ -1,0 +1,74 @@
+// Deterministic, seedable pseudo-random number generator used by every
+// stochastic component in the simulator and in DProf itself.
+//
+// All randomness in the project flows through Rng so that benches and tests can
+// fix seeds and regenerate the paper tables bit-for-bit run-to-run.
+
+#ifndef DPROF_SRC_UTIL_RNG_H_
+#define DPROF_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dprof {
+
+// xoshiro256** with splitmix64 seeding. Small, fast, and good enough for
+// sampling decisions; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Geometric-ish jittered interval around `mean`, used for sampling periods.
+  // Returns a value in [mean/2, 3*mean/2] uniformly; never returns 0.
+  uint64_t Jitter(uint64_t mean) {
+    if (mean <= 1) {
+      return 1;
+    }
+    const uint64_t half = mean / 2;
+    return half + Below(mean) + 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_RNG_H_

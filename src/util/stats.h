@@ -1,0 +1,102 @@
+// Small statistics helpers: running mean/max accumulators and fixed-bucket
+// histograms. Used for latency accounting, working-set estimation, and the
+// bench tables.
+
+#ifndef DPROF_SRC_UTIL_STATS_H_
+#define DPROF_SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dprof {
+
+// Accumulates count / sum / min / max; O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x) {
+    if (count_ == 0 || x < min_) {
+      min_ = x;
+    }
+    if (count_ == 0 || x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+    ++count_;
+  }
+
+  void Merge(const RunningStat& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Integer-keyed counter histogram with dense storage up to a bound.
+class DenseHistogram {
+ public:
+  explicit DenseHistogram(size_t buckets) : counts_(buckets, 0) {}
+
+  void Add(size_t bucket, uint64_t n = 1) {
+    if (bucket >= counts_.size()) {
+      counts_.resize(bucket + 1, 0);
+    }
+    counts_[bucket] += n;
+  }
+
+  uint64_t At(size_t bucket) const { return bucket < counts_.size() ? counts_[bucket] : 0; }
+  size_t size() const { return counts_.size(); }
+
+  uint64_t Total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) {
+      t += c;
+    }
+    return t;
+  }
+
+  double Mean() const {
+    return counts_.empty() ? 0.0 : static_cast<double>(Total()) / static_cast<double>(counts_.size());
+  }
+
+  uint64_t MaxCount() const {
+    uint64_t m = 0;
+    for (uint64_t c : counts_) {
+      if (c > m) {
+        m = c;
+      }
+    }
+    return m;
+  }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+// Percentage helper that tolerates zero denominators.
+inline double Pct(double num, double den) { return den == 0.0 ? 0.0 : 100.0 * num / den; }
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_STATS_H_

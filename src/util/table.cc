@@ -1,0 +1,105 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+
+namespace dprof {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) {
+    aligns_[0] = Align::kLeft;
+  }
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::Percent(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::Bytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string TablePrinter::Count(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+void TablePrinter::SetAlign(size_t column, Align align) {
+  if (column < aligns_.size()) {
+    aligns_[column] = align;
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) {
+        widths[c] = row[c].size();
+      }
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const size_t pad = widths[c] - cell.size();
+      if (c != 0) {
+        line += "  ";
+      }
+      if (aligns_[c] == Align::kLeft) {
+        line += cell;
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += cell;
+      }
+    }
+    // Trim trailing spaces for tidy output.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace dprof

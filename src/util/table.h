@@ -1,0 +1,44 @@
+// ASCII table rendering for bench output and DProf view reports.
+//
+// The bench harness prints the same rows the paper's tables report; this
+// printer keeps the formatting logic in one place.
+
+#ifndef DPROF_SRC_UTIL_TABLE_H_
+#define DPROF_SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dprof {
+
+class TablePrinter {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells are
+  // rendered empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Fixed(double v, int decimals);
+  static std::string Percent(double v, int decimals = 2);
+  static std::string Bytes(uint64_t bytes);
+  static std::string Count(uint64_t n);
+
+  void SetAlign(size_t column, Align align);
+
+  // Renders the table with a separator under the header row.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+// Common scalar type aliases shared by every module.
+
+#ifndef DPROF_SRC_UTIL_TYPES_H_
+#define DPROF_SRC_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace dprof {
+
+// Simulated virtual/physical address (the simulator does not distinguish).
+using Addr = uint64_t;
+
+// Identifier of a data type registered with the type registry (slab pools,
+// static objects). Matches the paper's notion of a "data type name".
+using TypeId = uint32_t;
+
+// Identifier of a code location. The simulator models program counters at
+// function granularity, which is the granularity the paper's path traces and
+// data flow views report.
+using FunctionId = uint32_t;
+
+inline constexpr TypeId kInvalidType = 0xffffffffu;
+inline constexpr FunctionId kInvalidFunction = 0xffffffffu;
+inline constexpr Addr kNullAddr = 0;
+
+// Nominal simulated core frequency used to convert cycles to wall-clock
+// seconds in reports (the paper reports seconds and samples/second).
+inline constexpr double kCyclesPerSecond = 1e9;
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_TYPES_H_

@@ -1,0 +1,53 @@
+// A small workload that deliberately provokes associativity-conflict misses
+// (paper §4.3): hot objects are placed at page-aligned strides so they all
+// map to the same handful of cache associativity sets and evict each other,
+// while total footprint stays far below cache capacity.
+//
+// Used by the miss-classification examples and tests: DProf should classify
+// this workload's misses as conflict misses, not capacity misses, because a
+// few associativity sets are heavily oversubscribed while most sit idle.
+
+#ifndef DPROF_SRC_WORKLOAD_CONFLICT_DEMO_H_
+#define DPROF_SRC_WORKLOAD_CONFLICT_DEMO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/workload/kernel.h"
+
+namespace dprof {
+
+struct ConflictDemoConfig {
+  // Number of hot objects per core; with stride aliasing, any count above
+  // the L1 way count causes steady conflict misses.
+  int hot_objects = 24;
+  // Object stride in bytes; must be a multiple of (num_sets * line_size) of
+  // the target cache so all objects alias to the same set.
+  uint32_t stride = 0;  // 0 = derive from the machine's L1 geometry
+  uint32_t object_bytes = 64;
+  bool spread_fix = false;  // allocate at non-aliasing offsets instead
+};
+
+class ConflictDemoWorkload final : public Workload {
+ public:
+  ConflictDemoWorkload(KernelEnv* env, const ConflictDemoConfig& config);
+  ~ConflictDemoWorkload() override;
+
+  void Install(Machine& machine) override;
+  uint64_t CompletedRequests() const override;
+  void ResetStats() override;
+
+  TypeId hot_type() const { return hot_type_; }
+
+ private:
+  class CoreDriver;
+
+  KernelEnv* env_;
+  ConflictDemoConfig config_;
+  TypeId hot_type_ = kInvalidType;
+  std::vector<std::unique_ptr<CoreDriver>> drivers_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_WORKLOAD_CONFLICT_DEMO_H_

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/dprof/address_set.h"
+
+namespace dprof {
+namespace {
+
+TEST(AddressSetTest, TracksLiveCounts) {
+  AddressSet set;
+  set.OnAlloc(1, 0x1000, 64, 0, 100);
+  set.OnAlloc(1, 0x2000, 64, 0, 200);
+  EXPECT_EQ(set.LiveCount(1), 2u);
+  EXPECT_EQ(set.AllocCount(1), 2u);
+  set.OnFree(1, 0x1000, 64, 0, 300);
+  EXPECT_EQ(set.LiveCount(1), 1u);
+  EXPECT_EQ(set.ObjectSize(1), 64u);
+}
+
+TEST(AddressSetTest, LifetimeFromAllocToFree) {
+  AddressSet set;
+  set.OnAlloc(1, 0x1000, 64, 0, 100);
+  set.OnFree(1, 0x1000, 64, 2, 600);
+  EXPECT_DOUBLE_EQ(set.AverageLifetime(1), 500.0);
+  set.OnAlloc(1, 0x1000, 64, 0, 1000);
+  set.OnFree(1, 0x1000, 64, 0, 1100);
+  EXPECT_DOUBLE_EQ(set.AverageLifetime(1), 300.0);
+}
+
+TEST(AddressSetTest, AverageLiveBytesIntegratesResidency) {
+  AddressSet set;
+  // One 100-byte object live for half of a 1000-cycle window.
+  set.OnAlloc(1, 0x1000, 100, 0, 0);
+  set.OnFree(1, 0x1000, 100, 0, 500);
+  EXPECT_NEAR(set.AverageLiveBytes(1, 1000), 50.0, 1e-6);
+}
+
+TEST(AddressSetTest, ToleratesOutOfOrderTimestamps) {
+  AddressSet set;
+  set.OnAlloc(1, 0x1000, 64, 0, 1000);
+  // A second core's clock lags behind; must not corrupt the integral.
+  set.OnAlloc(1, 0x2000, 64, 1, 400);
+  set.OnFree(1, 0x2000, 64, 1, 500);
+  const double avg = set.AverageLiveBytes(1, 2000);
+  EXPECT_GE(avg, 0.0);
+  EXPECT_LT(avg, 200.0);
+}
+
+TEST(AddressSetTest, AddressSamplesModulo) {
+  AddressSetOptions options;
+  options.modulo = 0x1000;
+  AddressSet set(options);
+  set.OnAlloc(1, 0x123456, 64, 0, 1);
+  const auto& samples = set.AddressSamples(1);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0], 0x123456ull % 0x1000);
+}
+
+TEST(AddressSetTest, ReservoirBounded) {
+  AddressSetOptions options;
+  options.reservoir_per_type = 16;
+  AddressSet set(options);
+  for (int i = 0; i < 1000; ++i) {
+    set.OnAlloc(1, 0x1000 + static_cast<Addr>(i) * 64, 64, 0, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(set.AddressSamples(1).size(), 16u);
+  EXPECT_EQ(set.AllocCount(1), 1000u);
+}
+
+TEST(AddressSetTest, UnknownTypeIsEmpty) {
+  AddressSet set;
+  EXPECT_EQ(set.LiveCount(42), 0u);
+  EXPECT_EQ(set.AllocCount(42), 0u);
+  EXPECT_TRUE(set.AddressSamples(42).empty());
+  EXPECT_EQ(set.AverageLiveBytes(42, 100), 0.0);
+}
+
+TEST(AddressSetTest, KnownTypesSorted) {
+  AddressSet set;
+  set.OnAlloc(9, 0x1000, 64, 0, 1);
+  set.OnAlloc(3, 0x2000, 64, 0, 2);
+  set.OnAlloc(5, 0x3000, 64, 0, 3);
+  const auto types = set.KnownTypes();
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], 3u);
+  EXPECT_EQ(types[1], 5u);
+  EXPECT_EQ(types[2], 9u);
+}
+
+TEST(AddressSetTest, FreeWithoutAllocIsSafe) {
+  AddressSet set;
+  set.OnFree(1, 0x1000, 64, 0, 100);
+  EXPECT_EQ(set.LiveCount(1), 0u);
+}
+
+}  // namespace
+}  // namespace dprof

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/cache.h"
+#include "src/util/rng.h"
+
+namespace dprof {
+namespace {
+
+CacheGeometry SmallGeometry() { return CacheGeometry{1024, 64, 2}; }  // 8 sets, 2 ways
+
+TEST(CacheGeometryTest, Derivations) {
+  CacheGeometry g{32 * 1024, 64, 8};
+  EXPECT_EQ(g.NumSets(), 64u);
+  EXPECT_EQ(g.LineOf(0), 0u);
+  EXPECT_EQ(g.LineOf(63), 0u);
+  EXPECT_EQ(g.LineOf(64), 1u);
+  EXPECT_EQ(g.SetOf(64), 0u);
+  EXPECT_EQ(g.SetOf(65), 1u);
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache cache(SmallGeometry());
+  EXPECT_FALSE(cache.Touch(5, 1));
+  cache.Insert(5, 1);
+  EXPECT_TRUE(cache.Touch(5, 2));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, ContainsHasNoSideEffects) {
+  Cache cache(SmallGeometry());
+  cache.Insert(3, 1);
+  const uint64_t hits_before = cache.stats().hits;
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(4));
+  EXPECT_EQ(cache.stats().hits, hits_before);
+}
+
+TEST(CacheTest, LruEviction) {
+  Cache cache(SmallGeometry());  // 8 sets: lines 0, 8, 16 share set 0
+  cache.Insert(0, 1);
+  cache.Insert(8, 2);
+  // Touch line 0 so line 8 becomes LRU.
+  EXPECT_TRUE(cache.Touch(0, 3));
+  auto evicted = cache.Insert(16, 4);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 8u);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(16));
+}
+
+TEST(CacheTest, InsertExistingRefreshes) {
+  Cache cache(SmallGeometry());
+  cache.Insert(0, 1);
+  cache.Insert(8, 2);
+  // Re-inserting 0 must not evict and must refresh its recency.
+  EXPECT_FALSE(cache.Insert(0, 3).has_value());
+  auto evicted = cache.Insert(16, 4);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 8u);
+}
+
+TEST(CacheTest, RemoveInvalidates) {
+  Cache cache(SmallGeometry());
+  cache.Insert(7, 1);
+  EXPECT_TRUE(cache.Remove(7));
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_FALSE(cache.Remove(7));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(CacheTest, OccupancyTracksValidLines) {
+  Cache cache(SmallGeometry());
+  EXPECT_EQ(cache.Occupancy(), 0u);
+  cache.Insert(1, 1);
+  cache.Insert(2, 1);
+  EXPECT_EQ(cache.Occupancy(), 2u);
+  cache.Remove(1);
+  EXPECT_EQ(cache.Occupancy(), 1u);
+}
+
+TEST(CacheTest, SetFillCounting) {
+  Cache cache(SmallGeometry());
+  cache.Insert(0, 1);   // set 0
+  cache.Insert(8, 2);   // set 0
+  cache.Insert(16, 3);  // set 0, evicts
+  cache.Insert(1, 4);   // set 1
+  EXPECT_EQ(cache.FillsOfSet(0), 3u);
+  EXPECT_EQ(cache.FillsOfSet(1), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// Property-style sweep: across several geometries, a cache never holds more
+// lines than its capacity, never holds duplicates, and evicts only when a
+// set is full.
+struct GeometryCase {
+  uint64_t size;
+  uint32_t line;
+  uint32_t ways;
+};
+
+class CachePropertyTest : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(CachePropertyTest, InvariantsUnderRandomWorkload) {
+  const GeometryCase& gc = GetParam();
+  CacheGeometry geom{gc.size, gc.line, gc.ways};
+  Cache cache(geom);
+  Rng rng(gc.size ^ gc.ways);
+  std::set<uint64_t> model;  // lines we believe are cached
+
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t line = rng.Below(4 * geom.NumSets() * geom.ways);
+    switch (rng.Below(3)) {
+      case 0: {
+        auto evicted = cache.Insert(line, i);
+        model.insert(line);
+        if (evicted.has_value()) {
+          EXPECT_NE(*evicted, line);
+          model.erase(*evicted);
+        }
+        break;
+      }
+      case 1:
+        EXPECT_EQ(cache.Touch(line, i), model.count(line) == 1);
+        break;
+      case 2:
+        EXPECT_EQ(cache.Remove(line), model.count(line) == 1);
+        model.erase(line);
+        break;
+    }
+    ASSERT_LE(cache.Occupancy(), geom.NumSets() * geom.ways);
+    ASSERT_EQ(cache.Occupancy(), model.size());
+  }
+  // Model and cache agree on membership at the end.
+  for (const uint64_t line : model) {
+    EXPECT_TRUE(cache.Contains(line));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CachePropertyTest,
+                         ::testing::Values(GeometryCase{1024, 64, 2},
+                                           GeometryCase{4096, 64, 4},
+                                           GeometryCase{8192, 64, 1},
+                                           GeometryCase{32768, 64, 8},
+                                           GeometryCase{16384, 128, 4},
+                                           GeometryCase{65536, 64, 16}));
+
+// Direct-mapped corner case: every insert into an occupied set evicts.
+TEST(CacheTest, DirectMappedAlwaysEvictsOnConflict) {
+  Cache cache(CacheGeometry{512, 64, 1});  // 8 sets, 1 way
+  cache.Insert(0, 1);
+  auto evicted = cache.Insert(8, 2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 0u);
+}
+
+}  // namespace
+}  // namespace dprof

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/hierarchy.h"
+
+namespace dprof {
+namespace {
+
+HierarchyConfig SmallConfig(int cores = 4) {
+  HierarchyConfig config;
+  config.num_cores = cores;
+  config.l1 = CacheGeometry{1024, 64, 2};
+  config.l2 = CacheGeometry{4096, 64, 4};
+  config.l3 = CacheGeometry{16384, 64, 8};
+  return config;
+}
+
+TEST(HierarchyTest, FirstAccessComesFromDram) {
+  CacheHierarchy h(SmallConfig());
+  const AccessResult r = h.Access(0, 0x1000, 8, false, 1);
+  EXPECT_EQ(r.level, ServedBy::kDram);
+  EXPECT_EQ(r.latency, h.config().latency.dram);
+  EXPECT_TRUE(r.l1_miss);
+  EXPECT_FALSE(r.invalidation);
+}
+
+TEST(HierarchyTest, SecondAccessHitsL1) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x1000, 8, false, 1);
+  const AccessResult r = h.Access(0, 0x1000, 8, false, 2);
+  EXPECT_EQ(r.level, ServedBy::kL1);
+  EXPECT_FALSE(r.l1_miss);
+}
+
+TEST(HierarchyTest, RemoteDirtyLineIsForeignFetch) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x2000, 8, true, 1);  // core 0 writes (modified)
+  const AccessResult r = h.Access(1, 0x2000, 8, false, 2);
+  EXPECT_EQ(r.level, ServedBy::kForeignCache);
+}
+
+TEST(HierarchyTest, WriteInvalidatesRemoteCopies) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x3000, 8, false, 1);  // core 0 caches the line
+  h.Access(1, 0x3000, 8, true, 2);   // core 1 writes: invalidate core 0
+  EXPECT_FALSE(h.InPrivateCache(0, 0x3000));
+  // Core 0's next access is an invalidation miss (ground truth flag).
+  const AccessResult r = h.Access(0, 0x3000, 8, false, 3);
+  EXPECT_TRUE(r.invalidation);
+  EXPECT_EQ(r.level, ServedBy::kForeignCache);  // dirty at core 1
+}
+
+TEST(HierarchyTest, EvictionIsNotAnInvalidationMiss) {
+  HierarchyConfig config = SmallConfig();
+  CacheHierarchy h(config);
+  // Thrash set 0 of core 0's L1/L2 until 0x0 is evicted naturally.
+  h.Access(0, 0x0, 8, false, 1);
+  const uint64_t span = config.l2.NumSets() * config.l2.line_size;
+  for (int i = 1; i <= 16; ++i) {
+    h.Access(0, static_cast<Addr>(i) * span, 8, false, 1 + i);
+  }
+  const AccessResult r = h.Access(0, 0x0, 8, false, 100);
+  EXPECT_TRUE(r.l1_miss);
+  EXPECT_FALSE(r.invalidation);
+}
+
+TEST(HierarchyTest, SharedReadersDoNotInvalidateEachOther) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x4000, 8, false, 1);
+  h.Access(1, 0x4000, 8, false, 2);
+  EXPECT_TRUE(h.InPrivateCache(0, 0x4000));
+  EXPECT_TRUE(h.InPrivateCache(1, 0x4000));
+  const AccessResult r0 = h.Access(0, 0x4000, 8, false, 3);
+  EXPECT_EQ(r0.level, ServedBy::kL1);
+}
+
+TEST(HierarchyTest, DirtyWritebackServesLaterReadFromL3) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x5000, 8, true, 1);   // dirty at core 0
+  h.Access(1, 0x5000, 8, false, 2);  // foreign fetch + writeback to L3
+  // A third core now finds it in L3 (both private copies are clean).
+  const AccessResult r = h.Access(2, 0x5000, 8, false, 3);
+  EXPECT_EQ(r.level, ServedBy::kL3);
+}
+
+TEST(HierarchyTest, MultiLineAccessAggregates) {
+  CacheHierarchy h(SmallConfig());
+  const AccessResult r = h.Access(0, 0x6000, 256, false, 1);  // 4 lines
+  EXPECT_EQ(r.lines, 4u);
+  EXPECT_EQ(r.latency, 4 * h.config().latency.dram);
+  EXPECT_EQ(r.level, ServedBy::kDram);
+}
+
+TEST(HierarchyTest, UnalignedAccessSpansExtraLine) {
+  CacheHierarchy h(SmallConfig());
+  const AccessResult r = h.Access(0, 0x6000 + 60, 8, false, 1);  // straddles
+  EXPECT_EQ(r.lines, 2u);
+}
+
+TEST(HierarchyTest, ProbeLevelMatchesAccessOutcome) {
+  CacheHierarchy h(SmallConfig());
+  EXPECT_EQ(h.ProbeLevel(0, 0x7000), ServedBy::kDram);
+  h.Access(0, 0x7000, 8, false, 1);
+  EXPECT_EQ(h.ProbeLevel(0, 0x7000), ServedBy::kL1);
+  h.Access(1, 0x7000, 8, true, 2);
+  EXPECT_EQ(h.ProbeLevel(0, 0x7000), ServedBy::kForeignCache);
+}
+
+TEST(HierarchyTest, CoreStatsAccumulate) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x8000, 8, false, 1);
+  h.Access(0, 0x8000, 8, false, 2);
+  const CoreMemStats& stats = h.core_stats(0);
+  EXPECT_EQ(stats.accesses, 2u);
+  EXPECT_EQ(stats.l1_hits, 1u);
+  EXPECT_EQ(stats.l1_misses, 1u);
+  EXPECT_EQ(stats.served[static_cast<int>(ServedBy::kDram)], 1u);
+  EXPECT_EQ(stats.served[static_cast<int>(ServedBy::kL1)], 1u);
+}
+
+TEST(HierarchyTest, FlushAllEmptiesEverything) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0x9000, 8, true, 1);
+  h.FlushAll();
+  EXPECT_FALSE(h.InPrivateCache(0, 0x9000));
+  const AccessResult r = h.Access(0, 0x9000, 8, false, 2);
+  EXPECT_EQ(r.level, ServedBy::kDram);
+}
+
+TEST(HierarchyTest, LatencyModelOrdering) {
+  LatencyModel lat;
+  EXPECT_LT(lat.Of(ServedBy::kL1), lat.Of(ServedBy::kL2));
+  EXPECT_LT(lat.Of(ServedBy::kL2), lat.Of(ServedBy::kL3));
+  EXPECT_LT(lat.Of(ServedBy::kL3), lat.Of(ServedBy::kForeignCache));
+  EXPECT_LE(lat.Of(ServedBy::kForeignCache), lat.Of(ServedBy::kDram));
+}
+
+TEST(HierarchyTest, ServedByNames) {
+  EXPECT_STREQ(ServedByName(ServedBy::kL1), "local L1");
+  EXPECT_STREQ(ServedByName(ServedBy::kForeignCache), "foreign cache");
+  EXPECT_STREQ(ServedByName(ServedBy::kDram), "DRAM");
+}
+
+// Parameterized coherence property: whichever core wrote last, a read from
+// any *other* core must not be served from that other core's own L1, and
+// after the read both copies are coherent (subsequent reads hit locally).
+class CoherencePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherencePropertyTest, ReadAfterRemoteWrite) {
+  const int writer = GetParam();
+  CacheHierarchy h(SmallConfig(4));
+  const Addr addr = 0xA000;
+  h.Access(writer, addr, 8, true, 1);
+  for (int reader = 0; reader < 4; ++reader) {
+    if (reader == writer) {
+      continue;
+    }
+    const AccessResult first = h.Access(reader, addr, 8, false, 2);
+    EXPECT_NE(first.level, ServedBy::kL1) << "reader " << reader;
+    const AccessResult second = h.Access(reader, addr, 8, false, 3);
+    EXPECT_EQ(second.level, ServedBy::kL1) << "reader " << reader;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Writers, CoherencePropertyTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace dprof

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "src/dprof/path_trace.h"
+
+namespace dprof {
+namespace {
+
+HistoryElement Elem(uint32_t offset, FunctionId ip, uint16_t cpu, uint64_t time,
+                    bool write = false) {
+  HistoryElement e;
+  e.offset = offset;
+  e.ip = ip;
+  e.cpu = cpu;
+  e.is_write = write;
+  e.time = time;
+  return e;
+}
+
+ObjectHistory History(TypeId type, uint32_t sweep, std::vector<HistoryElement> elems,
+                      uint64_t end_time = 0) {
+  ObjectHistory h;
+  h.type = type;
+  h.sweep = sweep;
+  h.complete = true;
+  h.elements = std::move(elems);
+  h.end_time = end_time != 0 ? end_time
+                             : (h.elements.empty() ? 0 : h.elements.back().time + 10);
+  if (!h.elements.empty()) {
+    h.watch_offsets[0] = h.elements[0].offset;
+  }
+  return h;
+}
+
+TEST(PathTraceTest, SingleHistoryBecomesOnePath) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 5, true), Elem(0, 11, 0, 9)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].steps.size(), 2u);
+  EXPECT_EQ(traces[0].steps[0].ip, 10u);
+  EXPECT_TRUE(traces[0].steps[0].has_write);
+  EXPECT_EQ(traces[0].steps[1].ip, 11u);
+  EXPECT_EQ(traces[0].frequency, 1u);
+}
+
+TEST(PathTraceTest, SameSignatureAggregatesFrequencyAndOffsets) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 5), Elem(0, 11, 0, 9)}));
+  histories.push_back(History(1, 0, {Elem(64, 10, 3, 6), Elem(64, 11, 3, 11)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].frequency, 2u);
+  EXPECT_EQ(traces[0].steps[0].offset_lo, 0u);
+  EXPECT_EQ(traces[0].steps[0].offset_hi, 64u);
+}
+
+TEST(PathTraceTest, CpuChangeCreatesDistinctPath) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  // Same ip sequence, but one history migrates cores mid-way.
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 5), Elem(0, 11, 0, 9)}));
+  histories.push_back(History(1, 1, {Elem(0, 10, 2, 5), Elem(0, 11, 6, 9)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 2u);
+  int bouncing = 0;
+  for (const PathTrace& t : traces) {
+    if (t.Bounces()) {
+      ++bouncing;
+      EXPECT_TRUE(t.steps[1].cpu_change);
+    }
+  }
+  EXPECT_EQ(bouncing, 1);
+}
+
+TEST(PathTraceTest, AbsoluteCoreIdsAreNormalized) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  // Both histories migrate once, but between different absolute cores.
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 5), Elem(0, 11, 1, 9)}));
+  histories.push_back(History(1, 1, {Elem(0, 10, 7, 5), Elem(0, 11, 3, 9)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].frequency, 2u);
+  EXPECT_TRUE(traces[0].Bounces());
+}
+
+TEST(PathTraceTest, ConsecutiveSameIpCollapses) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(
+      1, 0, {Elem(0, 10, 0, 1), Elem(4, 10, 0, 2), Elem(8, 10, 0, 3), Elem(0, 11, 0, 4)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].steps.size(), 2u);
+  EXPECT_EQ(traces[0].steps[0].accesses, 3u);
+  EXPECT_EQ(traces[0].steps[0].offset_lo, 0u);
+  EXPECT_EQ(traces[0].steps[0].offset_hi, 8u);
+}
+
+TEST(PathTraceTest, FoldLookbackToleratesInterleaving) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  // a b a b pattern folds into two steps via the lookback window.
+  histories.push_back(History(
+      1, 0, {Elem(0, 10, 0, 1), Elem(0, 11, 0, 2), Elem(4, 10, 0, 3), Elem(4, 11, 0, 4)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].steps.size(), 2u);
+}
+
+TEST(PathTraceTest, NeverFoldsAcrossCpuChange) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  histories.push_back(
+      History(1, 0, {Elem(0, 10, 0, 1), Elem(0, 10, 2, 5), Elem(0, 10, 2, 6)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].steps.size(), 2u);
+  EXPECT_TRUE(traces[0].steps[1].cpu_change);
+  EXPECT_EQ(traces[0].steps[1].accesses, 2u);
+}
+
+TEST(PathTraceTest, CombineSweepsMergesOffsets) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  // Two single-offset histories of the same sweep and shape combine into a
+  // whole-object path when combine_sweeps is set. Both end-align at their
+  // object's free time.
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 1), Elem(0, 12, 0, 30)}, 40));
+  histories.push_back(History(1, 0, {Elem(4, 11, 0, 5)}, 20));
+  PathTraceOptions options;
+  options.combine_sweeps = true;
+  const auto traces = PathTraceBuilder::Build(1, histories, samples, options);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].steps.size(), 3u);
+  EXPECT_EQ(traces[0].steps[0].ip, 10u);
+  EXPECT_EQ(traces[0].steps[1].ip, 11u);
+  EXPECT_EQ(traces[0].steps[2].ip, 12u);
+}
+
+TEST(PathTraceTest, AugmentsStepsWithSampleStats) {
+  AccessSampleTable samples;
+  IbsSample s;
+  s.core = 0;
+  s.ip = 10;
+  s.vaddr = 0x100;
+  s.level = ServedBy::kForeignCache;
+  s.latency = 200;
+  ResolveResult r;
+  r.valid = true;
+  r.type = 1;
+  r.base = 0x100;
+  r.offset = 0;
+  samples.Record(s, r);
+
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 1)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 1u);
+  const PathStep& step = traces[0].steps[0];
+  EXPECT_TRUE(step.has_sample_stats);
+  EXPECT_DOUBLE_EQ(step.level_prob[static_cast<int>(ServedBy::kForeignCache)], 1.0);
+  EXPECT_DOUBLE_EQ(step.avg_latency, 200.0);
+}
+
+TEST(PathTraceTest, IgnoresOtherTypes) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(2, 0, {Elem(0, 10, 0, 1)}));
+  EXPECT_TRUE(PathTraceBuilder::Build(1, histories, samples).empty());
+}
+
+TEST(PathTraceTest, SortedByFrequency) {
+  AccessSampleTable samples;
+  std::vector<ObjectHistory> histories;
+  for (uint32_t i = 0; i < 3; ++i) {
+    histories.push_back(History(1, i, {Elem(0, 10, 0, 1)}));
+  }
+  histories.push_back(History(1, 3, {Elem(0, 99, 0, 1)}));
+  const auto traces = PathTraceBuilder::Build(1, histories, samples);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].frequency, 3u);
+  EXPECT_EQ(traces[1].frequency, 1u);
+}
+
+TEST(PathTraceTest, HasInvalidationPattern) {
+  PathTrace trace;
+  PathStep write_step;
+  write_step.ip = 1;
+  write_step.has_write = true;
+  write_step.offset_lo = 0;
+  write_step.offset_hi = 16;
+  PathStep remote_read;
+  remote_read.ip = 2;
+  remote_read.cpu_change = true;
+  remote_read.offset_lo = 8;
+  remote_read.offset_hi = 8;
+  trace.steps = {write_step, remote_read};
+  EXPECT_TRUE(trace.HasInvalidationPattern());
+
+  // Different cache line: no invalidation pattern.
+  trace.steps[1].offset_lo = 128;
+  trace.steps[1].offset_hi = 128;
+  EXPECT_FALSE(trace.HasInvalidationPattern());
+
+  // Same line but no CPU change anywhere: not an invalidation.
+  trace.steps[1].offset_lo = 8;
+  trace.steps[1].offset_hi = 8;
+  trace.steps[1].cpu_change = false;
+  EXPECT_FALSE(trace.HasInvalidationPattern());
+}
+
+TEST(PathTraceTest, CountUniqueSignatures) {
+  std::vector<ObjectHistory> histories;
+  histories.push_back(History(1, 0, {Elem(0, 10, 0, 1), Elem(0, 11, 0, 2)}));
+  histories.push_back(History(1, 1, {Elem(0, 10, 0, 1), Elem(0, 11, 0, 2)}));  // dup
+  histories.push_back(History(1, 2, {Elem(0, 10, 0, 1), Elem(0, 12, 0, 2)}));  // new ips
+  histories.push_back(History(1, 3, {Elem(0, 10, 0, 1), Elem(0, 11, 4, 2)}));  // cpu change
+  histories.push_back(History(1, 4, {Elem(4, 10, 0, 1), Elem(4, 11, 0, 2)}));  // new offset
+  EXPECT_EQ(PathTraceBuilder::CountUniqueSignatures(histories), 4u);
+}
+
+TEST(PathTraceTest, TableRendersStepsAndFrequency) {
+  SymbolTable sym;
+  const FunctionId fn = sym.Intern("tcp_write");
+  PathTrace trace;
+  PathStep step;
+  step.ip = fn;
+  step.offset_lo = 64;
+  step.offset_hi = 128;
+  step.cpu_change = true;
+  trace.steps = {step};
+  trace.frequency = 17;
+  const std::string out = PathTraceBuilder::ToTable(trace, sym);
+  EXPECT_NE(out.find("tcp_write()"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("64-128"), std::string::npos);
+  EXPECT_NE(out.find("frequency: 17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dprof

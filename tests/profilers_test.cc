@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/profilers/code_profiler.h"
+#include "src/profilers/lock_stat.h"
+
+namespace dprof {
+namespace {
+
+AccessEvent Event(FunctionId ip, ServedBy level, uint32_t latency) {
+  AccessEvent event;
+  event.core = 0;
+  event.ip = ip;
+  event.addr = 0x100;
+  event.size = 8;
+  event.level = level;
+  event.latency = latency;
+  return event;
+}
+
+TEST(CodeProfilerTest, AttributesCyclesToFunctions) {
+  CodeProfiler profiler;
+  profiler.OnCompute(0, 1, 300, 0);
+  profiler.OnCompute(0, 2, 100, 0);
+  SymbolTable sym;
+  sym.Intern("f_zero");
+  sym.Intern("hot");
+  sym.Intern("cold");
+  const auto rows = profiler.Report(sym, 0.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "hot");
+  EXPECT_DOUBLE_EQ(rows[0].clk_pct, 75.0);
+  EXPECT_DOUBLE_EQ(rows[1].clk_pct, 25.0);
+}
+
+TEST(CodeProfilerTest, CountsL2MissesForL3AndBeyond) {
+  CodeProfiler profiler;
+  profiler.OnAccess(Event(1, ServedBy::kL1, 3));
+  profiler.OnAccess(Event(1, ServedBy::kL2, 14));
+  profiler.OnAccess(Event(1, ServedBy::kL3, 50));
+  profiler.OnAccess(Event(2, ServedBy::kForeignCache, 200));
+  profiler.OnAccess(Event(2, ServedBy::kDram, 250));
+  EXPECT_EQ(profiler.total_l2_misses(), 3u);
+  SymbolTable sym;
+  sym.Intern("a");
+  sym.Intern("one");
+  sym.Intern("two");
+  const auto rows = profiler.Report(sym, 0.0);
+  double l2_total = 0;
+  for (const auto& row : rows) {
+    l2_total += row.l2_miss_pct;
+  }
+  EXPECT_NEAR(l2_total, 100.0, 1e-9);
+}
+
+TEST(CodeProfilerTest, MinClkFilters) {
+  CodeProfiler profiler;
+  profiler.OnCompute(0, 1, 990, 0);
+  profiler.OnCompute(0, 2, 10, 0);
+  SymbolTable sym;
+  sym.Intern("pad");
+  sym.Intern("big");
+  sym.Intern("small");
+  EXPECT_EQ(profiler.Report(sym, 1.5).size(), 1u);
+  EXPECT_EQ(profiler.Report(sym, 0.5).size(), 2u);
+}
+
+TEST(CodeProfilerTest, ResetClears) {
+  CodeProfiler profiler;
+  profiler.OnCompute(0, 1, 100, 0);
+  profiler.Reset();
+  EXPECT_EQ(profiler.total_cycles(), 0u);
+  SymbolTable sym;
+  EXPECT_TRUE(profiler.Report(sym, 0.0).empty());
+}
+
+TEST(CodeProfilerTest, TableRendersFunctionNames) {
+  CodeProfiler profiler;
+  profiler.OnCompute(0, 0, 500, 0);
+  SymbolTable sym;
+  sym.Intern("interesting_fn");
+  const std::string table = profiler.ReportTable(sym, 0.0);
+  EXPECT_NE(table.find("interesting_fn"), std::string::npos);
+  EXPECT_NE(table.find("% CLK"), std::string::npos);
+}
+
+struct LockStatFixture : ::testing::Test {
+  LockStatFixture() : stat(&sym) {
+    fn_a = sym.Intern("acquirer_a");
+    fn_b = sym.Intern("acquirer_b");
+  }
+  SymbolTable sym;
+  LockStat stat;
+  FunctionId fn_a = kInvalidFunction;
+  FunctionId fn_b = kInvalidFunction;
+};
+
+TEST_F(LockStatFixture, AggregatesByLockName) {
+  SimLock lock1("Qdisc lock", 0x100);
+  SimLock lock2("Qdisc lock", 0x200);  // same class, different instance
+  stat.OnAcquire(lock1, 0, fn_a, 1000, 0);
+  stat.OnAcquire(lock2, 1, fn_b, 500, 0);
+  stat.OnRelease(lock1, 0, fn_a, 50, 0);
+  stat.OnRelease(lock2, 1, fn_b, 70, 0);
+  const auto rows = stat.Report(1'000'000, 2);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "Qdisc lock");
+  EXPECT_EQ(rows[0].acquisitions, 2u);
+  EXPECT_EQ(rows[0].contentions, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].wait_seconds, 1500.0 / kCyclesPerSecond);
+  EXPECT_EQ(rows[0].functions.size(), 2u);
+}
+
+TEST_F(LockStatFixture, OverheadIsWaitOverCoreTime) {
+  SimLock lock("L", 0x100);
+  stat.OnAcquire(lock, 0, fn_a, 2000, 0);
+  const auto rows = stat.Report(10000, 2);
+  ASSERT_EQ(rows.size(), 1u);
+  // 2000 wait cycles over 2 cores * 10000 cycles = 10%.
+  EXPECT_DOUBLE_EQ(rows[0].overhead_pct, 10.0);
+}
+
+TEST_F(LockStatFixture, UncontendedAcquisitionsAreNotContentions) {
+  SimLock lock("L", 0x100);
+  stat.OnAcquire(lock, 0, fn_a, 0, 0);
+  stat.OnAcquire(lock, 0, fn_a, 100, 0);
+  const auto rows = stat.Report(1000, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].acquisitions, 2u);
+  EXPECT_EQ(rows[0].contentions, 1u);
+}
+
+TEST_F(LockStatFixture, SortedByWaitTime) {
+  SimLock cheap("cheap", 0x100);
+  SimLock costly("costly", 0x200);
+  stat.OnAcquire(cheap, 0, fn_a, 10, 0);
+  stat.OnAcquire(costly, 0, fn_a, 9999, 0);
+  const auto rows = stat.Report(1'000'000, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "costly");
+}
+
+TEST_F(LockStatFixture, ResetClears) {
+  SimLock lock("L", 0x100);
+  stat.OnAcquire(lock, 0, fn_a, 10, 0);
+  stat.Reset();
+  EXPECT_TRUE(stat.Report(1000, 1).empty());
+}
+
+TEST_F(LockStatFixture, TableListsFunctions) {
+  SimLock lock("futex lock", 0x100);
+  stat.OnAcquire(lock, 0, fn_a, 500, 0);
+  stat.OnAcquire(lock, 0, fn_b, 0, 0);
+  const std::string table = stat.ReportTable(100000, 4);
+  EXPECT_NE(table.find("futex lock"), std::string::npos);
+  EXPECT_NE(table.find("acquirer_a"), std::string::npos);
+  EXPECT_NE(table.find("acquirer_b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dprof

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/alloc/slab_allocator.h"
+#include "src/util/rng.h"
+
+namespace dprof {
+namespace {
+
+struct AllocFixture : ::testing::Test {
+  AllocFixture() : machine(MakeConfig()), allocator(&machine, &registry) {
+    machine.SetAllocator(&allocator);
+    widget = registry.Register("widget", 100);  // padded to 104
+    big = registry.Register("big", 6000);       // multi-page slab
+    fn = machine.symbols().Intern("test_fn");
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.hierarchy.num_cores = 4;
+    return config;
+  }
+
+  Machine machine;
+  TypeRegistry registry;
+  SlabAllocator allocator;
+  TypeId widget = kInvalidType;
+  TypeId big = kInvalidType;
+  FunctionId fn = kInvalidFunction;
+};
+
+TEST(TypeRegistryTest, RegisterAndLookup) {
+  TypeRegistry registry;
+  const TypeId a = registry.Register("foo", 64);
+  const TypeId b = registry.Register("bar", 128);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.Register("foo", 64), a);  // idempotent
+  EXPECT_EQ(registry.Find("bar"), b);
+  EXPECT_EQ(registry.Find("baz"), kInvalidType);
+  EXPECT_EQ(registry.Name(a), "foo");
+  EXPECT_EQ(registry.Size(b), 128u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST_F(AllocFixture, AllocReturnsDistinctAddresses) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  const Addr b = ctx.Alloc(widget, fn);
+  EXPECT_NE(a, kNullAddr);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(AllocFixture, ResolveRoundTripsBaseAndInterior) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  const ResolveResult base = allocator.Resolve(a);
+  ASSERT_TRUE(base.valid);
+  EXPECT_EQ(base.type, widget);
+  EXPECT_EQ(base.base, a);
+  EXPECT_EQ(base.offset, 0u);
+  EXPECT_EQ(base.size, 104u);  // padded
+
+  const ResolveResult interior = allocator.Resolve(a + 57);
+  ASSERT_TRUE(interior.valid);
+  EXPECT_EQ(interior.type, widget);
+  EXPECT_EQ(interior.base, a);
+  EXPECT_EQ(interior.offset, 57u);
+}
+
+TEST_F(AllocFixture, ResolveSlabHeader) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  // The slab header sits at the start of the object's page run.
+  const Addr page_base = (a / 4096) * 4096;
+  const ResolveResult header = allocator.Resolve(page_base + 8);
+  ASSERT_TRUE(header.valid);
+  EXPECT_EQ(header.type, allocator.slab_type());
+}
+
+TEST_F(AllocFixture, ResolveUnknownAddressFails) {
+  EXPECT_FALSE(allocator.Resolve(0x10).valid);
+  EXPECT_FALSE(allocator.Resolve(0x7f1234560000ull).valid);
+}
+
+TEST_F(AllocFixture, FreeAndReuseSameCore) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  ctx.Free(a, fn);
+  // LIFO magazine: the very next alloc reuses the address.
+  const Addr b = ctx.Alloc(widget, fn);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(AllocFixture, AlienFreeCountsAndDrains) {
+  CoreContext c0 = machine.Context(0);
+  CoreContext c1 = machine.Context(1);
+  std::vector<Addr> objs;
+  for (int i = 0; i < 64; ++i) {
+    objs.push_back(c0.Alloc(widget, fn));
+  }
+  for (const Addr a : objs) {
+    c1.Free(a, fn);  // all alien
+  }
+  EXPECT_EQ(allocator.type_stats(widget).alien_frees, 64u);
+  EXPECT_EQ(allocator.type_stats(widget).live, 0u);
+  // Eventually core 0 can re-allocate the drained objects.
+  std::vector<Addr> again;
+  for (int i = 0; i < 64; ++i) {
+    again.push_back(c0.Alloc(widget, fn));
+  }
+  EXPECT_EQ(allocator.type_stats(widget).live, 64u);
+}
+
+TEST_F(AllocFixture, LiveStatsTrackAllocFree) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  const Addr b = ctx.Alloc(widget, fn);
+  EXPECT_EQ(allocator.LiveCount(widget), 2u);
+  EXPECT_EQ(allocator.type_stats(widget).peak_live, 2u);
+  ctx.Free(a, fn);
+  EXPECT_EQ(allocator.LiveCount(widget), 1u);
+  ctx.Free(b, fn);
+  EXPECT_EQ(allocator.LiveCount(widget), 0u);
+  EXPECT_EQ(allocator.type_stats(widget).allocs, 2u);
+  EXPECT_EQ(allocator.type_stats(widget).frees, 2u);
+}
+
+TEST_F(AllocFixture, AverageLiveBytesReflectsResidency) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(widget, fn);
+  const uint64_t alloc_done = machine.CoreClock(0);
+  ctx.Compute(fn, 100000);  // object stays live for a long stretch
+  ctx.Free(a, fn);
+  const uint64_t now = machine.CoreClock(0);
+  const double avg = allocator.AverageLiveBytes(widget, now);
+  // One ~104-byte object live for most of the window.
+  const double expected = 104.0 * 100000.0 / static_cast<double>(now);
+  EXPECT_NEAR(avg, expected, expected * 0.2);
+  (void)alloc_done;
+}
+
+TEST_F(AllocFixture, MultiPageSlabObjects) {
+  CoreContext ctx = machine.Context(0);
+  const Addr a = ctx.Alloc(big, fn);
+  const ResolveResult r = allocator.Resolve(a + 4500);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.type, big);
+  EXPECT_EQ(r.base, a);
+  EXPECT_EQ(r.offset, 4500u);
+}
+
+TEST_F(AllocFixture, StaticRegistrationResolves) {
+  const TypeId dev = registry.Register("device", 128);
+  const Addr base = allocator.RegisterStatic(dev, 128);
+  const ResolveResult r = allocator.Resolve(base + 64);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.type, dev);
+  EXPECT_EQ(r.offset, 64u);
+}
+
+TEST_F(AllocFixture, ObserverSeesAllocAndFree) {
+  struct Observer : AllocationObserver {
+    void OnAlloc(TypeId t, Addr base, uint32_t size, int core, uint64_t) override {
+      allocs.push_back({t, base, size, core});
+    }
+    void OnFree(TypeId t, Addr base, uint32_t, int, uint64_t) override {
+      frees.push_back({t, base});
+    }
+    struct A {
+      TypeId t;
+      Addr base;
+      uint32_t size;
+      int core;
+    };
+    std::vector<A> allocs;
+    std::vector<std::pair<TypeId, Addr>> frees;
+  } obs;
+  allocator.AddObserver(&obs);
+  CoreContext ctx = machine.Context(2);
+  const Addr a = ctx.Alloc(widget, fn);
+  ctx.Free(a, fn);
+  allocator.RemoveObserver(&obs);
+  ctx.Alloc(widget, fn);
+
+  ASSERT_EQ(obs.allocs.size(), 1u);
+  EXPECT_EQ(obs.allocs[0].t, widget);
+  EXPECT_EQ(obs.allocs[0].base, a);
+  EXPECT_EQ(obs.allocs[0].size, 104u);
+  EXPECT_EQ(obs.allocs[0].core, 2);
+  ASSERT_EQ(obs.frees.size(), 1u);
+  EXPECT_EQ(obs.frees[0].second, a);
+}
+
+TEST_F(AllocFixture, CacheLockIsSharedName) {
+  SimLock* lock = allocator.CacheLock(widget);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->name(), "SLAB cache lock");
+}
+
+TEST_F(AllocFixture, MetadataTypesRegistered) {
+  EXPECT_EQ(registry.Name(allocator.slab_type()), "slab");
+  EXPECT_EQ(registry.Name(allocator.array_cache_type()), "array_cache");
+  EXPECT_EQ(registry.Name(allocator.kmem_cache_type()), "kmem_cache");
+}
+
+TEST_F(AllocFixture, AllocatorMetadataLivesInSimulatedMemory) {
+  // The allocator's own accesses must be observable: count events whose
+  // resolved type is array_cache during an alloc burst.
+  struct Recorder : MachineObserver {
+    explicit Recorder(SlabAllocator* a) : alloc(a) {}
+    void OnAccess(const AccessEvent& event) override {
+      const ResolveResult r = alloc->Resolve(event.addr);
+      if (r.valid && r.type == alloc->array_cache_type()) {
+        ++array_cache_touches;
+      }
+    }
+    void OnCompute(int, FunctionId, uint64_t, uint64_t) override {}
+    SlabAllocator* alloc;
+    int array_cache_touches = 0;
+  } recorder(&allocator);
+  machine.AddObserver(&recorder);
+  CoreContext ctx = machine.Context(0);
+  ctx.Alloc(widget, fn);
+  machine.RemoveObserver(&recorder);
+  EXPECT_GT(recorder.array_cache_touches, 0);
+}
+
+// Property-style fuzz: random alloc/free interleavings across cores never
+// produce overlapping live objects, and every live address resolves.
+class AllocatorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorFuzzTest, NoOverlapAndResolveAlways) {
+  MachineConfig config;
+  config.hierarchy.num_cores = 4;
+  Machine machine(config);
+  TypeRegistry registry;
+  SlabAllocator allocator(&machine, &registry);
+  machine.SetAllocator(&allocator);
+  const FunctionId fn = machine.symbols().Intern("fuzz");
+  const TypeId small = registry.Register("small", 48);
+  const TypeId medium = registry.Register("medium", 500);
+  const TypeId large = registry.Register("large", 1900);
+
+  Rng rng(GetParam());
+  std::map<Addr, std::pair<TypeId, uint32_t>> live;  // base -> (type, padded size)
+  const TypeId types[3] = {small, medium, large};
+  const uint32_t padded[3] = {48, 504, 1904};
+
+  for (int i = 0; i < 3000; ++i) {
+    CoreContext ctx = machine.Context(static_cast<int>(rng.Below(4)));
+    if (live.empty() || rng.Chance(0.55)) {
+      const int which = static_cast<int>(rng.Below(3));
+      const Addr a = ctx.Alloc(types[which], fn);
+      // No overlap with any live object.
+      auto next = live.lower_bound(a);
+      if (next != live.end()) {
+        ASSERT_GE(next->first, a + padded[which]);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second.second, a);
+      }
+      live[a] = {types[which], padded[which]};
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      const ResolveResult r = allocator.Resolve(it->first + rng.Below(it->second.second));
+      ASSERT_TRUE(r.valid);
+      ASSERT_EQ(r.type, it->second.first);
+      ASSERT_EQ(r.base, it->first);
+      ctx.Free(it->first, fn);
+      live.erase(it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dprof

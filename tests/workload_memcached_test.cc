@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/workload/kernel.h"
+#include "src/workload/memcached.h"
+
+namespace dprof {
+namespace {
+
+struct MemcachedFixture {
+  explicit MemcachedFixture(bool fix, int cores = 4) {
+    MachineConfig config;
+    config.hierarchy.num_cores = cores;
+    machine = std::make_unique<Machine>(config);
+    allocator = std::make_unique<SlabAllocator>(machine.get(), &registry);
+    machine->SetAllocator(allocator.get());
+    env = std::make_unique<KernelEnv>(machine.get(), allocator.get());
+    MemcachedConfig mc;
+    mc.local_queue_fix = fix;
+    mc.rx_ring_entries = 32;  // keep tests fast
+    workload = std::make_unique<MemcachedWorkload>(env.get(), mc);
+    workload->Install(*machine);
+  }
+
+  TypeRegistry registry;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<SlabAllocator> allocator;
+  std::unique_ptr<KernelEnv> env;
+  std::unique_ptr<MemcachedWorkload> workload;
+};
+
+TEST(MemcachedWorkloadTest, CompletesRequests) {
+  MemcachedFixture f(false);
+  f.machine->RunFor(2'000'000);
+  EXPECT_GT(f.workload->CompletedRequests(), 100u);
+}
+
+TEST(MemcachedWorkloadTest, BugSpreadsTransmitsAcrossQueues) {
+  MemcachedFixture f(false);
+  f.machine->RunFor(2'000'000);
+  const uint64_t remote = f.workload->TxRemote();
+  const uint64_t local = f.workload->TxLocal();
+  ASSERT_GT(remote + local, 0u);
+  // With 4 cores, hashing sends ~3/4 of packets to a remote queue.
+  const double remote_fraction =
+      static_cast<double>(remote) / static_cast<double>(remote + local);
+  EXPECT_NEAR(remote_fraction, 0.75, 0.08);
+}
+
+TEST(MemcachedWorkloadTest, FixKeepsTransmitsLocal) {
+  MemcachedFixture f(true);
+  f.machine->RunFor(2'000'000);
+  EXPECT_EQ(f.workload->TxRemote(), 0u);
+  EXPECT_GT(f.workload->TxLocal(), 0u);
+}
+
+TEST(MemcachedWorkloadTest, FixImprovesThroughput) {
+  MemcachedFixture buggy(false);
+  MemcachedFixture fixed(true);
+  buggy.machine->RunFor(1'000'000);
+  fixed.machine->RunFor(1'000'000);
+  buggy.workload->ResetStats();
+  fixed.workload->ResetStats();
+  const uint64_t b0 = buggy.machine->MaxClock();
+  const uint64_t f0 = fixed.machine->MaxClock();
+  buggy.machine->RunFor(4'000'000);
+  fixed.machine->RunFor(4'000'000);
+  const double buggy_rps =
+      ThroughputRps(buggy.workload->CompletedRequests(), buggy.machine->MaxClock() - b0);
+  const double fixed_rps =
+      ThroughputRps(fixed.workload->CompletedRequests(), fixed.machine->MaxClock() - f0);
+  // The paper reports +57% on 16 cores; on 4 cores the remote fraction is
+  // lower, so just require a solid improvement.
+  EXPECT_GT(fixed_rps, buggy_rps * 1.15);
+}
+
+TEST(MemcachedWorkloadTest, BugCausesForeignCacheTraffic) {
+  MemcachedFixture f(false);
+  f.machine->RunFor(2'000'000);
+  uint64_t foreign = 0;
+  uint64_t accesses = 0;
+  for (int c = 0; c < f.machine->num_cores(); ++c) {
+    const CoreMemStats& stats = f.machine->hierarchy().core_stats(c);
+    foreign += stats.served[static_cast<int>(ServedBy::kForeignCache)];
+    accesses += stats.accesses;
+  }
+  EXPECT_GT(static_cast<double>(foreign) / static_cast<double>(accesses), 0.01);
+}
+
+TEST(MemcachedWorkloadTest, FixEliminatesMostForeignTraffic) {
+  MemcachedFixture buggy(false);
+  MemcachedFixture fixed(true);
+  buggy.machine->RunFor(2'000'000);
+  fixed.machine->RunFor(2'000'000);
+  auto foreign_fraction = [](Machine& machine) {
+    uint64_t foreign = 0;
+    uint64_t accesses = 0;
+    for (int c = 0; c < machine.num_cores(); ++c) {
+      const CoreMemStats& stats = machine.hierarchy().core_stats(c);
+      foreign += stats.served[static_cast<int>(ServedBy::kForeignCache)];
+      accesses += stats.accesses;
+    }
+    return static_cast<double>(foreign) / static_cast<double>(accesses);
+  };
+  EXPECT_LT(foreign_fraction(*fixed.machine), foreign_fraction(*buggy.machine) * 0.4);
+}
+
+TEST(MemcachedWorkloadTest, AlienFreesOnlyWithBug) {
+  MemcachedFixture buggy(false);
+  MemcachedFixture fixed(true);
+  buggy.machine->RunFor(2'000'000);
+  fixed.machine->RunFor(2'000'000);
+  const TypeId skbuff = buggy.registry.Find("skbuff");
+  EXPECT_GT(buggy.allocator->type_stats(skbuff).alien_frees, 0u);
+  const TypeId skbuff_fixed = fixed.registry.Find("skbuff");
+  EXPECT_EQ(fixed.allocator->type_stats(skbuff_fixed).alien_frees, 0u);
+}
+
+TEST(MemcachedWorkloadTest, WorkingSetHoldsRxRing) {
+  MemcachedFixture f(false);
+  f.machine->RunFor(2'000'000);
+  const TypeId payload = f.registry.Find("size-1024");
+  // Each core keeps >= rx_ring_entries payload buffers live.
+  EXPECT_GE(f.allocator->LiveCount(payload),
+            static_cast<uint64_t>(4 * 32));
+}
+
+TEST(MemcachedWorkloadTest, ResetStatsZeroes) {
+  MemcachedFixture f(false);
+  f.machine->RunFor(1'000'000);
+  EXPECT_GT(f.workload->CompletedRequests(), 0u);
+  f.workload->ResetStats();
+  EXPECT_EQ(f.workload->CompletedRequests(), 0u);
+  EXPECT_EQ(f.workload->TxRemote(), 0u);
+}
+
+TEST(MemcachedWorkloadTest, KernelTypesRegistered) {
+  MemcachedFixture f(false);
+  EXPECT_NE(f.registry.Find("skbuff"), kInvalidType);
+  EXPECT_NE(f.registry.Find("size-1024"), kInvalidType);
+  EXPECT_NE(f.registry.Find("udp_sock"), kInvalidType);
+  EXPECT_NE(f.registry.Find("net_device"), kInvalidType);
+  EXPECT_NE(f.registry.Find("Qdisc"), kInvalidType);
+  EXPECT_EQ(f.registry.Size(f.registry.Find("skbuff")), 256u);
+  EXPECT_EQ(f.registry.Size(f.registry.Find("tcp_sock")), 1600u);
+}
+
+}  // namespace
+}  // namespace dprof
