@@ -1,0 +1,249 @@
+#include "src/cli/bench_registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/cli/scenario_registry.h"
+#include "src/dprof/session.h"
+#include "src/util/check.h"
+#include "src/util/json_writer.h"
+#include "src/workload/apache.h"
+#include "src/workload/kernel.h"
+#include "src/workload/memcached.h"
+
+namespace dprof {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Benches reuse the scenario rig assembly so machine wiring lives in exactly
+// one place (MakeBaseRig).
+std::unique_ptr<ScenarioRig> MakeRig(int cores, uint64_t seed) {
+  ScenarioParams params;
+  params.cores = cores;
+  params.seed = seed;
+  return MakeBaseRig(params);
+}
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+}
+
+// Times `iters` calls of `op` and returns host nanoseconds per call.
+template <typename Op>
+double TimePerOp(uint64_t iters, Op&& op) {
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) op(i);
+  return ElapsedNs(start) / static_cast<double>(iters);
+}
+
+uint64_t Scaled(double scale, uint64_t base) {
+  const double scaled = scale * static_cast<double>(base);
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+// Host cost of the substrate primitives, plus the paper's §6.3/§6.4 cost
+// constants so the baseline records the simulated-cost model in effect.
+BenchReport RunMicroCosts(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "micro_costs";
+
+  {
+    Cache cache(CacheGeometry{32 * 1024, 64, 8});
+    for (uint64_t line = 0; line < 512; ++line) cache.Insert(line, line);
+    volatile bool sink = false;
+    const double ns = TimePerOp(Scaled(params.scale, 2'000'000), [&](uint64_t i) {
+      sink = cache.Touch(i % 512, i);
+    });
+    report.metrics.push_back({"cache_touch", ns, "ns/op"});
+  }
+
+  {
+    HierarchyConfig config;
+    config.num_cores = 4;
+    CacheHierarchy hierarchy(config);
+    hierarchy.Access(0, 0x1000, 8, false, 0);
+    const double ns = TimePerOp(Scaled(params.scale, 1'000'000), [&](uint64_t i) {
+      hierarchy.Access(0, 0x1000, 8, false, i + 1);
+    });
+    report.metrics.push_back({"hierarchy_local_hit", ns, "ns/op"});
+  }
+
+  {
+    auto rig = MakeRig(2, params.seed);
+    Machine& machine = *rig->machine;
+    const TypeId type = rig->registry->Register("bench_obj", 256);
+    const FunctionId fn = machine.symbols().Intern("bench");
+    CoreContext ctx = machine.Context(0);
+    const double ns = TimePerOp(Scaled(params.scale, 200'000), [&](uint64_t) {
+      const Addr a = ctx.Alloc(type, fn);
+      ctx.Free(a, fn);
+    });
+    report.metrics.push_back({"slab_alloc_free", ns, "ns/op"});
+
+    const Addr addr = ctx.Alloc(type, fn);
+    volatile uint64_t sink = 0;
+    const double resolve_ns = TimePerOp(Scaled(params.scale, 2'000'000), [&](uint64_t) {
+      sink = rig->allocator->Resolve(addr + 128).type;
+    });
+    report.metrics.push_back({"resolve", resolve_ns, "ns/op"});
+  }
+
+  {
+    auto rig = MakeRig(4, params.seed);
+    Machine& machine = *rig->machine;
+    MemcachedConfig mc;
+    mc.rx_ring_entries = 32;
+    MemcachedWorkload workload(rig->env.get(), mc);
+    workload.Install(machine);
+    const uint64_t steps = Scaled(params.scale, 50'000);
+    const auto start = Clock::now();
+    machine.RunSteps(steps);
+    report.metrics.push_back(
+        {"memcached_step", ElapsedNs(start) / static_cast<double>(steps), "ns/op"});
+    report.metrics.push_back(
+        {"memcached_sim_cycles_per_step",
+         static_cast<double>(machine.MaxClock()) / static_cast<double>(steps), "cycles"});
+  }
+
+  const IbsConfig ibs;
+  report.metrics.push_back(
+      {"ibs_interrupt_cycles", static_cast<double>(ibs.interrupt_cycles), "cycles"});
+  const DebugRegCostModel debug_costs;
+  report.metrics.push_back({"watchpoint_interrupt_cycles",
+                            static_cast<double>(debug_costs.interrupt_cycles), "cycles"});
+  report.metrics.push_back({"debugreg_setup_initiator_cycles",
+                            static_cast<double>(debug_costs.setup_initiator_cycles),
+                            "cycles"});
+  return report;
+}
+
+// Simulated memcached throughput, stock vs. the paper's core-local tx fix.
+BenchReport RunMemcachedThroughput(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "memcached_throughput";
+  const uint64_t warm = Scaled(params.scale, 10'000'000);
+  const uint64_t measure = Scaled(params.scale, 40'000'000);
+  for (const bool fixed : {false, true}) {
+    auto rig = MakeRig(16, params.seed);
+    Machine& machine = *rig->machine;
+    MemcachedConfig mc;
+    mc.local_queue_fix = fixed;
+    MemcachedWorkload workload(rig->env.get(), mc);
+    workload.Install(machine);
+    machine.RunFor(warm);
+    workload.ResetStats();
+    const uint64_t start = machine.MaxClock();
+    machine.RunFor(measure);
+    const double rps =
+        ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start);
+    report.metrics.push_back(
+        {fixed ? "fixed_rps" : "stock_rps", rps, "req/s"});
+  }
+  return report;
+}
+
+// Simulated Apache throughput at the paper's three operating points.
+BenchReport RunApacheThroughput(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "apache_throughput";
+  const uint64_t warm = Scaled(params.scale, 10'000'000);
+  const uint64_t measure = Scaled(params.scale, 40'000'000);
+  const std::pair<const char*, ApacheConfig> points[] = {
+      {"peak_rps", ApacheConfig::Peak()},
+      {"dropoff_rps", ApacheConfig::DropOff()},
+      {"fixed_rps", ApacheConfig::Fixed()},
+  };
+  for (const auto& [name, apache_config] : points) {
+    auto rig = MakeRig(16, params.seed);
+    Machine& machine = *rig->machine;
+    ApacheWorkload workload(rig->env.get(), apache_config);
+    workload.Install(machine);
+    machine.RunFor(warm);
+    workload.ResetStats();
+    const uint64_t start = machine.MaxClock();
+    machine.RunFor(measure);
+    report.metrics.push_back(
+        {name, ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start),
+         "req/s"});
+  }
+  return report;
+}
+
+}  // namespace
+
+bool BenchRegistry::Register(const std::string& name, const std::string& description,
+                             BenchFn fn) {
+  DPROF_CHECK(fn != nullptr);
+  auto [it, inserted] = benches_.emplace(name, BenchInfo{name, description, std::move(fn)});
+  (void)it;
+  return inserted;
+}
+
+const BenchInfo* BenchRegistry::Find(const std::string& name) const {
+  auto it = benches_.find(name);
+  return it == benches_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> BenchRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(benches_.size());
+  for (const auto& [name, info] : benches_) {
+    (void)info;
+    names.push_back(name);
+  }
+  return names;
+}
+
+BenchRegistry& BenchRegistry::Default() {
+  static BenchRegistry* registry = [] {
+    auto* r = new BenchRegistry();
+    RegisterBuiltinBenches(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void RegisterBuiltinBenches(BenchRegistry& registry) {
+  registry.Register("micro_costs",
+                    "host cost of substrate primitives + paper cost constants",
+                    RunMicroCosts);
+  registry.Register("memcached_throughput",
+                    "simulated memcached req/s, stock vs. core-local tx fix",
+                    RunMemcachedThroughput);
+  registry.Register("apache_throughput",
+                    "simulated Apache req/s at peak / drop-off / fixed",
+                    RunApacheThroughput);
+}
+
+std::string BenchReportToJson(const BenchReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String(report.bench);
+  json.Key("metrics").BeginArray();
+  for (const BenchMetric& metric : report.metrics) {
+    json.BeginObject();
+    json.Key("name").String(metric.name);
+    json.Key("value").Number(metric.value);
+    json.Key("unit").String(metric.unit);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string BenchReportToText(const BenchReport& report) {
+  std::string out = "bench: " + report.bench + "\n";
+  for (const BenchMetric& metric : report.metrics) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-36s %14.2f %s\n", metric.name.c_str(),
+                  metric.value, metric.unit.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dprof

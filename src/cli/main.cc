@@ -1,0 +1,231 @@
+// The unified dprof driver.
+//
+//   dprof list                      — scenarios and benches with descriptions
+//   dprof run <scenario> [flags]    — profile a scenario, print the summary
+//   dprof bench <name> [flags]      — run a registered benchmark
+//
+// Flags:
+//   --json             machine-readable output (run, bench)
+//   --cores N          simulated cores for run (default 16)
+//   --cycles N         phase-1 collection length in simulated cycles
+//   --seed N           machine seed (default 1)
+//   --scale X          bench iteration scale factor (default 1.0)
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cli/bench_registry.h"
+#include "src/cli/scenario_registry.h"
+
+namespace dprof {
+namespace {
+
+int Usage(FILE* out) {
+  std::fprintf(out,
+               "usage: dprof <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  list                     list scenarios and benches\n"
+               "  run <scenario> [flags]   profile a scenario end to end\n"
+               "  bench <name> [flags]     run a registered benchmark\n"
+               "\n"
+               "flags:\n"
+               "  --json        machine-readable output\n"
+               "  --cores N     simulated cores (run; default 16)\n"
+               "  --cycles N    phase-1 collection cycles (run)\n"
+               "  --seed N      machine seed (default 1)\n"
+               "  --scale X     bench iteration scale (bench; default 1.0)\n");
+  return out == stdout ? 0 : 2;
+}
+
+struct ParsedFlags {
+  bool json = false;
+  int cores = 16;
+  uint64_t cycles = 0;
+  uint64_t seed = 1;
+  double scale = 1.0;
+};
+
+// Strict unsigned decimal parse; rejects empty values and trailing garbage
+// (so "--cycles 2e6" errors instead of silently running 2 cycles).
+bool ParseUInt(const char* flag, const char* value, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') {
+    std::fprintf(stderr, "dprof: %s expects a non-negative integer, got '%s'\n", flag,
+                 value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Returns false (after printing a diagnostic) on malformed or, for this
+// command, inapplicable flags. `allowed` is the space-separated flag list the
+// current subcommand honours, so e.g. `bench --cores 4` errors instead of
+// silently running the default geometry.
+bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_view allowed,
+                ParsedFlags* flags) {
+  for (size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "dprof: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return args[++i].c_str();
+    };
+    // Exact-token membership in the space-separated `allowed` list ("--c"
+    // must not pass as a prefix of "--cores").
+    bool flag_allowed = false;
+    for (size_t pos = 0; pos < allowed.size();) {
+      const size_t space = allowed.find(' ', pos);
+      const std::string_view token = allowed.substr(
+          pos, space == std::string_view::npos ? allowed.size() - pos : space - pos);
+      if (token == arg) {
+        flag_allowed = true;
+        break;
+      }
+      if (space == std::string_view::npos) break;
+      pos = space + 1;
+    }
+    if (!flag_allowed) {
+      std::fprintf(stderr, "dprof: unknown flag '%s' (accepted here: %s)\n", arg.c_str(),
+                   std::string(allowed).c_str());
+      return false;
+    }
+    if (arg == "--json") {
+      flags->json = true;
+    } else if (arg == "--cores") {
+      const char* v = next_value("--cores");
+      uint64_t cores = 0;
+      if (v == nullptr || !ParseUInt("--cores", v, &cores)) return false;
+      if (cores == 0 || cores > 4096) {
+        std::fprintf(stderr, "dprof: --cores must be in [1, 4096]\n");
+        return false;
+      }
+      flags->cores = static_cast<int>(cores);
+    } else if (arg == "--cycles") {
+      const char* v = next_value("--cycles");
+      if (v == nullptr || !ParseUInt("--cycles", v, &flags->cycles)) return false;
+      if (flags->cycles == 0) {
+        // 0 is the "use the scenario default" sentinel internally; accepting
+        // it here would silently run the 40M-cycle default.
+        std::fprintf(stderr, "dprof: --cycles must be positive\n");
+        return false;
+      }
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      if (v == nullptr || !ParseUInt("--seed", v, &flags->seed)) return false;
+    } else if (arg == "--scale") {
+      const char* v = next_value("--scale");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      flags->scale = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(flags->scale > 0.0)) {
+        std::fprintf(stderr, "dprof: --scale must be a positive number\n");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int CmdList() {
+  std::printf("scenarios:\n");
+  ScenarioRegistry& scenarios = ScenarioRegistry::Default();
+  for (const std::string& name : scenarios.Names()) {
+    std::printf("  %-16s %s\n", name.c_str(), scenarios.Find(name)->description.c_str());
+  }
+  std::printf("\nbenches:\n");
+  BenchRegistry& benches = BenchRegistry::Default();
+  for (const std::string& name : benches.Names()) {
+    std::printf("  %-24s %s\n", name.c_str(), benches.Find(name)->description.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::fprintf(stderr, "dprof: run requires a scenario name\n");
+    return 2;
+  }
+  const std::string& name = args[2];
+  ScenarioRegistry& registry = ScenarioRegistry::Default();
+  if (!registry.Has(name)) {
+    std::fprintf(stderr, "dprof: unknown scenario '%s'; try 'dprof list'\n", name.c_str());
+    return 2;
+  }
+  ParsedFlags flags;
+  if (!ParseFlags(args, 3, "--json --cores --cycles --seed", &flags)) return 2;
+
+  ScenarioParams params;
+  params.cores = flags.cores;
+  params.seed = flags.seed;
+  params.collect_cycles = flags.cycles;
+  params.build_view_json = flags.json;
+  const ScenarioReport report = RunScenario(registry, name, params);
+
+  if (flags.json) {
+    std::printf("%s\n", ScenarioReportToJson(report).c_str());
+    return 0;
+  }
+  std::printf("scenario: %s (%d cores, %llu cycles)\n", report.scenario.c_str(),
+              report.cores, static_cast<unsigned long long>(report.collect_cycles));
+  std::printf("requests: %llu (%.0f req/s), access samples: %llu\n\n",
+              static_cast<unsigned long long>(report.requests), report.throughput_rps,
+              static_cast<unsigned long long>(report.access_samples));
+  std::printf("== data profile ==\n%s\n", report.profile_table.c_str());
+  std::printf("== miss classification ==\n%s\n", report.miss_class_table.c_str());
+  return 0;
+}
+
+int CmdBench(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::fprintf(stderr, "dprof: bench requires a bench name\n");
+    return 2;
+  }
+  const std::string& name = args[2];
+  BenchRegistry& registry = BenchRegistry::Default();
+  const BenchInfo* info = registry.Find(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "dprof: unknown bench '%s'; try 'dprof list'\n", name.c_str());
+    return 2;
+  }
+  ParsedFlags flags;
+  if (!ParseFlags(args, 3, "--json --scale --seed", &flags)) return 2;
+
+  BenchParams params;
+  params.scale = flags.scale;
+  params.seed = flags.seed;
+  const BenchReport report = info->fn(params);
+  if (flags.json) {
+    std::printf("%s\n", BenchReportToJson(report).c_str());
+  } else {
+    std::printf("%s", BenchReportToText(report).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  if (args.size() < 2) return Usage(stderr);
+  const std::string& command = args[1];
+  if (command == "list") return CmdList();
+  if (command == "run") return CmdRun(args);
+  if (command == "bench") return CmdBench(args);
+  if (command == "help" || command == "--help" || command == "-h") return Usage(stdout);
+  std::fprintf(stderr, "dprof: unknown command '%s'\n", command.c_str());
+  return Usage(stderr);
+}
+
+}  // namespace
+}  // namespace dprof
+
+int main(int argc, char** argv) { return dprof::Main(argc, argv); }

@@ -1,0 +1,218 @@
+#include "src/cli/scenario_registry.h"
+
+#include <utility>
+
+#include "src/dprof/miss_classifier.h"
+#include "src/util/check.h"
+#include "src/util/json_writer.h"
+#include "src/workload/apache.h"
+#include "src/workload/conflict_demo.h"
+#include "src/workload/memcached.h"
+
+namespace dprof {
+
+namespace {
+
+void ApplyParams(ScenarioRig& rig, const ScenarioParams& params) {
+  if (params.collect_cycles > 0) rig.collect_cycles = params.collect_cycles;
+}
+
+}  // namespace
+
+std::unique_ptr<ScenarioRig> MakeBaseRig(const ScenarioParams& params) {
+  auto rig = std::make_unique<ScenarioRig>();
+  rig->registry = std::make_unique<TypeRegistry>();
+  MachineConfig config;
+  config.hierarchy.num_cores = params.cores;
+  config.seed = params.seed;
+  rig->machine = std::make_unique<Machine>(config);
+  rig->allocator = std::make_unique<SlabAllocator>(rig->machine.get(), rig->registry.get());
+  rig->machine->SetAllocator(rig->allocator.get());
+  rig->env = std::make_unique<KernelEnv>(rig->machine.get(), rig->allocator.get());
+  // Interactive default: bound each type's history phase to ~50ms of
+  // simulated time. Workloads that never recycle a type's objects (so the
+  // collector sees no allocations to watch) bail out here instead of
+  // spinning to the library's 4-second safety cap.
+  rig->options.history_phase_max_cycles = 50'000'000;
+  return rig;
+}
+
+bool ScenarioRegistry::Register(const std::string& name, const std::string& description,
+                                ScenarioFactory factory) {
+  DPROF_CHECK(factory != nullptr);
+  auto [it, inserted] =
+      scenarios_.emplace(name, ScenarioInfo{name, description, std::move(factory)});
+  (void)it;
+  return inserted;
+}
+
+const ScenarioInfo* ScenarioRegistry::Find(const std::string& name) const {
+  auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, info] : scenarios_) {
+    (void)info;
+    names.push_back(name);
+  }
+  return names;
+}
+
+ScenarioRegistry& ScenarioRegistry::Default() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    RegisterBuiltinScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
+  registry.Register(
+      "memcached",
+      "memcached/UDP with the stock skb_tx_hash() queue selection (paper §6.1): "
+      "skbuffs and payloads bounce between cores",
+      [](const ScenarioParams& params) {
+        auto rig = MakeBaseRig(params);
+        rig->workload =
+            std::make_unique<MemcachedWorkload>(rig->env.get(), MemcachedConfig{});
+        rig->options.ibs_period_ops = 200;
+        ApplyParams(*rig, params);
+        return rig;
+      });
+
+  registry.Register(
+      "apache",
+      "Apache static-file serving past the throughput drop-off (paper §6.2): "
+      "deep accept queues evict tcp_socks before accept()",
+      [](const ScenarioParams& params) {
+        auto rig = MakeBaseRig(params);
+        rig->workload =
+            std::make_unique<ApacheWorkload>(rig->env.get(), ApacheConfig::DropOff());
+        rig->options.ibs_period_ops = 200;
+        ApplyParams(*rig, params);
+        return rig;
+      });
+
+  registry.Register(
+      "kernel",
+      "kernel network stack with the paper's core-local transmit fix applied: "
+      "the post-fix memcached profile (paper §6.1, fixed)",
+      [](const ScenarioParams& params) {
+        auto rig = MakeBaseRig(params);
+        MemcachedConfig config;
+        config.local_queue_fix = true;
+        rig->workload = std::make_unique<MemcachedWorkload>(rig->env.get(), config);
+        rig->options.ibs_period_ops = 200;
+        ApplyParams(*rig, params);
+        return rig;
+      });
+
+  registry.Register(
+      "conflict_demo",
+      "associativity-conflict microbenchmark (paper §4.3): hot objects alias "
+      "to the same L1 sets and evict each other",
+      [](const ScenarioParams& params) {
+        auto rig = MakeBaseRig(params);
+        rig->workload =
+            std::make_unique<ConflictDemoWorkload>(rig->env.get(), ConflictDemoConfig{});
+        rig->options.ibs_period_ops = 100;
+        rig->collect_cycles = 20'000'000;
+        // Hot objects live forever, so no allocations ever hit the history
+        // collector; keep the (futile) watch phase short.
+        rig->options.history_phase_max_cycles = 10'000'000;
+        rig->history_sets = 2;
+        ApplyParams(*rig, params);
+        return rig;
+      });
+}
+
+ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& name,
+                           const ScenarioParams& params) {
+  const ScenarioInfo* info = registry.Find(name);
+  DPROF_CHECK(info != nullptr);
+
+  std::unique_ptr<ScenarioRig> rig = info->factory(params);
+  DPROF_CHECK(rig != nullptr && rig->workload != nullptr);
+  rig->workload->Install(*rig->machine);
+
+  DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
+  session.CollectAccessSamples(rig->collect_cycles);
+  session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
+
+  ScenarioReport report;
+  report.scenario = name;
+  report.cores = rig->machine->num_cores();
+  report.collect_cycles = rig->collect_cycles;
+  report.requests = rig->workload->CompletedRequests();
+  report.throughput_rps = ThroughputRps(report.requests, rig->machine->MaxClock());
+  report.access_samples = session.samples().total_samples();
+
+  const DataProfile profile = session.BuildDataProfile();
+  for (const DataProfileRow& row : profile.rows()) {
+    ScenarioProfileRow out;
+    out.type = row.name;
+    out.miss_pct = row.miss_pct;
+    out.working_set_bytes = row.working_set_bytes;
+    out.bounce = row.bounce;
+    out.samples = row.samples;
+    out.avg_miss_latency = row.avg_miss_latency;
+    report.profile.push_back(std::move(out));
+  }
+  report.profile_table = profile.ToTable(10);
+  const std::vector<MissClassRow> miss_rows = session.ClassifyMisses();
+  report.miss_class_table = MissClassifier::ToTable(miss_rows);
+
+  if (params.build_view_json) {
+    report.miss_class_json = MissClassifier::ToJson(miss_rows);
+    report.working_set_json = session.BuildWorkingSet().ToJson();
+    const std::vector<TypeId> top = profile.TopTypes(1);
+    if (!top.empty() && !session.histories(top[0]).empty()) {
+      report.top_type = rig->registry->Name(top[0]);
+      report.data_flow_json = session.BuildDataFlow(top[0]).ToJson();
+    }
+  }
+  return report;
+}
+
+std::string ScenarioReportToJson(const ScenarioReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("scenario").String(report.scenario);
+  json.Key("cores").Int(report.cores);
+  json.Key("collect_cycles").UInt(report.collect_cycles);
+  json.Key("requests").UInt(report.requests);
+  json.Key("throughput_rps").Number(report.throughput_rps);
+  json.Key("access_samples").UInt(report.access_samples);
+  json.Key("profile").BeginArray();
+  for (const ScenarioProfileRow& row : report.profile) {
+    json.BeginObject();
+    json.Key("type").String(row.type);
+    json.Key("miss_pct").Number(row.miss_pct);
+    json.Key("working_set_bytes").Number(row.working_set_bytes);
+    json.Key("bounce").Bool(row.bounce);
+    json.Key("samples").UInt(row.samples);
+    json.Key("avg_miss_latency").Number(row.avg_miss_latency);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("views").BeginObject();
+  if (!report.working_set_json.empty()) {
+    json.Key("working_set").Raw(report.working_set_json);
+  }
+  if (!report.miss_class_json.empty()) {
+    json.Key("miss_classification").Raw(report.miss_class_json);
+  }
+  if (!report.data_flow_json.empty()) {
+    json.Key("data_flow_type").String(report.top_type);
+    json.Key("data_flow").Raw(report.data_flow_json);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dprof

@@ -1,0 +1,130 @@
+// The scenario registry behind `dprof list` / `dprof run <name>`.
+//
+// A scenario bundles everything one reproducible profiling run needs: the
+// simulated machine, the typed allocator, a workload, and the DProfOptions
+// the session should use. Scenarios are registered by name with a factory
+// lambda, so future workloads and operating points plug in with one
+// Register() call and immediately show up in the CLI, the tests, and CI.
+
+#ifndef DPROF_SRC_CLI_SCENARIO_REGISTRY_H_
+#define DPROF_SRC_CLI_SCENARIO_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dprof/session.h"
+#include "src/workload/kernel.h"
+
+namespace dprof {
+
+// Everything a scenario run owns. Destruction order matters (members are
+// declared leaf-last so dependents die first); keep the machine above the
+// pieces that point into it.
+struct ScenarioRig {
+  std::unique_ptr<TypeRegistry> registry;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<SlabAllocator> allocator;
+  std::unique_ptr<KernelEnv> env;
+  std::unique_ptr<Workload> workload;
+
+  DProfOptions options;
+  // Phase-1 access-sample collection length, in simulated cycles.
+  uint64_t collect_cycles = 40'000'000;
+  // Phase-2: history sets per type, for the top `top_types` profile entries.
+  uint32_t history_sets = 4;
+  size_t top_types = 3;
+};
+
+// Tunables the CLI exposes; factories receive them so every scenario honours
+// the same flags.
+struct ScenarioParams {
+  int cores = 16;
+  uint64_t seed = 1;
+  // 0 = keep the scenario's default collect_cycles.
+  uint64_t collect_cycles = 0;
+  // Whether RunScenario should render the per-view JSON documents into the
+  // report; text-only callers skip that work.
+  bool build_view_json = true;
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const ScenarioParams&)>;
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  ScenarioFactory factory;
+};
+
+class ScenarioRegistry {
+ public:
+  // Returns false (and leaves the registry unchanged) on duplicate names.
+  bool Register(const std::string& name, const std::string& description,
+                ScenarioFactory factory);
+
+  const ScenarioInfo* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+  std::vector<std::string> Names() const;
+  size_t size() const { return scenarios_.size(); }
+
+  // The registry with the built-in scenarios (memcached, apache, kernel,
+  // conflict_demo) pre-registered.
+  static ScenarioRegistry& Default();
+
+ private:
+  std::map<std::string, ScenarioInfo> scenarios_;
+};
+
+// Registers the built-in scenarios into `registry` (used by Default() and by
+// tests that want a fresh registry).
+void RegisterBuiltinScenarios(ScenarioRegistry& registry);
+
+// Shared rig assembly for scenario factories: machine + typed allocator +
+// kernel environment sized from `params`, with interactive-friendly session
+// defaults. The factory fills in `workload` (and any option overrides).
+std::unique_ptr<ScenarioRig> MakeBaseRig(const ScenarioParams& params);
+
+// One ranked row of the run summary.
+struct ScenarioProfileRow {
+  std::string type;
+  double miss_pct = 0.0;
+  double working_set_bytes = 0.0;
+  bool bounce = false;
+  uint64_t samples = 0;
+  double avg_miss_latency = 0.0;
+};
+
+// The result of `dprof run`: throughput plus the data-profile summary.
+struct ScenarioReport {
+  std::string scenario;
+  int cores = 0;
+  uint64_t collect_cycles = 0;
+  uint64_t requests = 0;
+  double throughput_rps = 0.0;
+  uint64_t access_samples = 0;
+  std::vector<ScenarioProfileRow> profile;
+  // Human-readable views (data profile table, miss classification).
+  std::string profile_table;
+  std::string miss_class_table;
+  // Machine-readable view documents (see the views' ToJson methods).
+  std::string working_set_json;
+  std::string miss_class_json;
+  // Data flow of the top profiled type, when histories were collected.
+  std::string top_type;
+  std::string data_flow_json;
+};
+
+// Builds the rig, runs both DProf phases, and assembles the report.
+// CHECK-fails if `name` is not registered — callers validate first.
+ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& name,
+                           const ScenarioParams& params);
+
+// Renders `report` as the machine-readable JSON document `dprof run --json`
+// prints.
+std::string ScenarioReportToJson(const ScenarioReport& report);
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_CLI_SCENARIO_REGISTRY_H_
