@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/util/dot.h"
+#include "src/util/json_writer.h"
 
 namespace dprof {
 
@@ -139,6 +140,34 @@ std::string DataFlowGraph::ToAscii() const {
     }
   }
   return out;
+}
+
+
+std::string DataFlowGraph::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("nodes").BeginArray();
+  for (const DataFlowNode& node : nodes_) {
+    json.BeginObject();
+    json.Key("label").String(node.label);
+    json.Key("dark").Bool(node.dark);
+    json.Key("avg_latency").Number(node.avg_latency);
+    json.Key("visits").UInt(node.visits);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("edges").BeginArray();
+  for (const DataFlowEdge& edge : edges_) {
+    json.BeginObject();
+    json.Key("from").Int(edge.from);
+    json.Key("to").Int(edge.to);
+    json.Key("frequency").UInt(edge.frequency);
+    json.Key("cpu_change").Bool(edge.cpu_change);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 }  // namespace dprof

@@ -53,6 +53,9 @@ class DataFlowGraph {
   std::string ToDot(const std::string& graph_name) const;
   std::string ToAscii() const;
 
+  // Machine-readable form: nodes and edges with their display attributes.
+  std::string ToJson() const;
+
  private:
   std::vector<DataFlowNode> nodes_;
   std::vector<DataFlowEdge> edges_;

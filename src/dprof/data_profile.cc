@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/stats.h"
+#include "src/util/json_writer.h"
 #include "src/util/table.h"
 
 namespace dprof {
@@ -77,6 +78,24 @@ std::string DataProfile::ToTable(size_t top_n) const {
   table.AddRow({"Total", TablePrinter::Bytes(static_cast<uint64_t>(total_bytes)),
                 TablePrinter::Percent(total_pct), "-"});
   return table.ToString();
+}
+
+
+std::string DataProfile::ToJson() const {
+  JsonWriter json;
+  json.BeginArray();
+  for (const DataProfileRow& row : rows_) {
+    json.BeginObject();
+    json.Key("type").String(row.name);
+    json.Key("working_set_bytes").Number(row.working_set_bytes);
+    json.Key("miss_pct").Number(row.miss_pct);
+    json.Key("bounce").Bool(row.bounce);
+    json.Key("samples").UInt(row.samples);
+    json.Key("avg_miss_latency").Number(row.avg_miss_latency);
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
 }
 
 }  // namespace dprof

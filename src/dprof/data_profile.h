@@ -44,6 +44,9 @@ class DataProfile {
   // Renders the Table 6.1-style view.
   std::string ToTable(size_t top_n) const;
 
+  // Machine-readable form: an array of row objects, ranked by miss share.
+  std::string ToJson() const;
+
  private:
   std::vector<DataProfileRow> rows_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/stats.h"
+#include "src/util/json_writer.h"
 #include "src/util/table.h"
 
 namespace dprof {
@@ -112,6 +113,25 @@ std::string MissClassifier::ToTable(const std::vector<MissClassRow>& rows) {
                   TablePrinter::Count(row.miss_samples)});
   }
   return table.ToString();
+}
+
+
+std::string MissClassifier::ToJson(const std::vector<MissClassRow>& rows) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const MissClassRow& row : rows) {
+    json.BeginObject();
+    json.Key("type").String(row.name);
+    json.Key("invalidation_pct").Number(row.invalidation_pct);
+    json.Key("conflict_pct").Number(row.conflict_pct);
+    json.Key("capacity_pct").Number(row.capacity_pct);
+    json.Key("dominant").String(MissKindName(row.dominant));
+    json.Key("miss_samples").UInt(row.miss_samples);
+    json.Key("path_invalidation_evidence").Bool(row.path_invalidation_evidence);
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
 }
 
 }  // namespace dprof

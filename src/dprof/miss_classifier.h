@@ -57,6 +57,9 @@ class MissClassifier {
       const MissClassifierOptions& options = {});
 
   static std::string ToTable(const std::vector<MissClassRow>& rows);
+
+  // Machine-readable form: an array of row objects.
+  static std::string ToJson(const std::vector<MissClassRow>& rows);
 };
 
 }  // namespace dprof

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "src/util/json_writer.h"
 #include "src/util/table.h"
 
 namespace dprof {
@@ -312,6 +313,33 @@ std::string PathTraceBuilder::ToTable(const PathTrace& trace, const SymbolTable&
   std::string out = table.ToString();
   out += "frequency: " + TablePrinter::Count(trace.frequency) + "\n";
   return out;
+}
+
+
+std::string PathTraceBuilder::ToJson(const PathTrace& trace, const SymbolTable& symbols) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").UInt(trace.type);
+  json.Key("frequency").UInt(trace.frequency);
+  json.Key("bounces").Bool(trace.Bounces());
+  json.Key("steps").BeginArray();
+  for (const PathStep& step : trace.steps) {
+    json.BeginObject();
+    json.Key("function").String(symbols.Name(step.ip));
+    json.Key("cpu_change").Bool(step.cpu_change);
+    json.Key("has_write").Bool(step.has_write);
+    json.Key("offset_lo").UInt(step.offset_lo);
+    json.Key("offset_hi").UInt(step.offset_hi);
+    json.Key("avg_time").Number(step.avg_time);
+    json.Key("accesses").UInt(step.accesses);
+    if (step.has_sample_stats) {
+      json.Key("avg_latency").Number(step.avg_latency);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 }  // namespace dprof

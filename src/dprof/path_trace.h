@@ -80,6 +80,9 @@ class PathTraceBuilder {
 
   // Renders a Table 4.1-style listing of one path trace.
   static std::string ToTable(const PathTrace& trace, const SymbolTable& symbols);
+
+  // Machine-readable form of one path trace.
+  static std::string ToJson(const PathTrace& trace, const SymbolTable& symbols);
 };
 
 }  // namespace dprof

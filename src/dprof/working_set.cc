@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/util/json_writer.h"
 #include "src/util/table.h"
 
 namespace dprof {
@@ -163,6 +164,37 @@ std::string WorkingSetView::ToTable(size_t top_n) const {
                 demand_lines_, capacity_lines_, conflicted_.size(), mean_lines_per_set_);
   out += buf;
   return out;
+}
+
+
+std::string WorkingSetView::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("demand_lines").Number(demand_lines_);
+  json.Key("capacity_lines").Number(capacity_lines_);
+  json.Key("over_capacity").Bool(OverCapacity());
+  json.Key("mean_lines_per_set").Number(mean_lines_per_set_);
+  json.Key("rows").BeginArray();
+  for (const WorkingSetRow& row : rows_) {
+    json.BeginObject();
+    json.Key("type").String(row.name);
+    json.Key("avg_live_objects").Number(row.avg_live_objects);
+    json.Key("avg_live_bytes").Number(row.avg_live_bytes);
+    json.Key("cache_lines_touched").Number(row.cache_lines_touched);
+    json.Key("conflicted_fraction").Number(ConflictedFraction(row.type));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("conflicted_sets").BeginArray();
+  for (const AssocSetPressure& pressure : conflicted_) {
+    json.BeginObject();
+    json.Key("set").UInt(pressure.set);
+    json.Key("distinct_lines").UInt(pressure.distinct_lines);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 }  // namespace dprof

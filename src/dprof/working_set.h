@@ -72,6 +72,10 @@ class WorkingSetView {
 
   std::string ToTable(size_t top_n) const;
 
+  // Machine-readable form: rows plus demand/capacity and the conflicted
+  // associativity sets.
+  std::string ToJson() const;
+
  private:
   std::vector<WorkingSetRow> rows_;
   std::vector<AssocSetPressure> conflicted_;

@@ -136,5 +136,18 @@ TEST_F(DataFlowFixture, EmptyTraceListYieldsSentinelsOnly) {
   EXPECT_TRUE(graph.CpuTransitions().empty());
 }
 
+TEST_F(DataFlowFixture, JsonCarriesNodesAndEdges) {
+  const auto graph =
+      DataFlowGraph::Build({Trace({Step(fn_a), Step(fn_d, true)}, 3)}, sym);
+  const std::string json = graph.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"edges\":["), std::string::npos);
+  EXPECT_NE(json.find("alloc_path"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_change\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"frequency\":3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dprof

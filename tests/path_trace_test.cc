@@ -240,5 +240,26 @@ TEST(PathTraceTest, TableRendersStepsAndFrequency) {
   EXPECT_NE(out.find("frequency: 17"), std::string::npos);
 }
 
+TEST(PathTraceTest, JsonCarriesStepsAndFrequency) {
+  SymbolTable sym;
+  const FunctionId fn = sym.Intern("tcp_write");
+  PathTrace trace;
+  PathStep step;
+  step.ip = fn;
+  step.offset_lo = 64;
+  step.offset_hi = 128;
+  step.cpu_change = true;
+  trace.type = 7;
+  trace.steps = {step};
+  trace.frequency = 17;
+  const std::string json = PathTraceBuilder::ToJson(trace, sym);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"function\":\"tcp_write\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_change\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"offset_lo\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"frequency\":17"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dprof

@@ -237,5 +237,43 @@ TEST(MissKindTest, Names) {
   EXPECT_STREQ(MissKindName(MissKind::kNone), "none");
 }
 
+TEST_F(ViewsFixture, DataProfileJsonCarriesRankedRows) {
+  const DataProfile profile = DataProfile::Build(registry, samples, addresses, kNow);
+  const std::string json = profile.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"type\":\"hot_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"miss_pct\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bounce\":"), std::string::npos);
+  // hot_type has the largest miss share, so it must come first.
+  EXPECT_LT(json.find("hot_type"), json.find("shared_type"));
+}
+
+TEST_F(ViewsFixture, WorkingSetJsonCarriesDemandAndRows) {
+  const WorkingSetView view = WorkingSetView::Build(registry, addresses, samples, kNow);
+  const std::string json = view.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"demand_lines\":"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity_lines\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"conflicted_sets\":["), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"hot_type\""), std::string::npos);
+}
+
+TEST(MissClassifierTest, JsonCarriesSharesAndDominantKind) {
+  MissClassRow row;
+  row.name = "skbuff";
+  row.invalidation_pct = 80;
+  row.capacity_pct = 20;
+  row.dominant = MissKind::kInvalidation;
+  row.miss_samples = 123;
+  const std::string json = MissClassifier::ToJson({row});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"type\":\"skbuff\""), std::string::npos);
+  EXPECT_NE(json.find("\"invalidation_pct\":80"), std::string::npos);
+  EXPECT_NE(json.find("\"dominant\":\"invalidation\""), std::string::npos);
+  EXPECT_NE(json.find("\"miss_samples\":123"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dprof
