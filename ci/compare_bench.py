@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compares two `dprof bench micro_costs --json` documents.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Fails (exit 1) when any host-cost metric (unit ns/op or s) regresses by more
+than the threshold relative to the baseline. Simulated-cost-model constants
+(unit "cycles") are reported but never fail the build: changing the model is
+a reviewed decision, not a perf regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20)
+    args = parser.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    failures = []
+    for name, metric in sorted(cur.items()):
+        if name not in base:
+            print(f"  NEW    {name:40s} {metric['value']:.2f} {metric['unit']}")
+            continue
+        old = base[name]
+        unit = metric.get("unit", "")
+        if unit in ("ns/op", "s") and old["value"] > 0:
+            ratio = metric["value"] / old["value"]
+            status = "OK"
+            if ratio > 1.0 + args.threshold:
+                status = "REGRESSION"
+                failures.append(name)
+            print(
+                f"  {status:10s} {name:40s} {old['value']:10.2f} -> "
+                f"{metric['value']:10.2f} {unit} ({ratio:.2f}x)"
+            )
+        else:
+            changed = "changed" if metric["value"] != old["value"] else "same"
+            print(
+                f"  CONST-{changed:7s} {name:36s} {old['value']:.2f} -> "
+                f"{metric['value']:.2f} {unit}"
+            )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.threshold * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print("\nbench comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

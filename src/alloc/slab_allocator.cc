@@ -9,6 +9,7 @@ SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const Sla
   DPROF_CHECK(config_.page_size >= 256);
   DPROF_CHECK(config_.slab_header_size < config_.page_size);
   DPROF_CHECK(config_.batch_count > 0 && config_.batch_count <= config_.magazine_capacity);
+  DPROF_CHECK(config_.arena_stride % config_.page_size == 0);
 
   slab_type_ = registry_->Register("slab", config_.slab_header_size);
   array_cache_type_ = registry_->Register("array_cache", 128);
@@ -21,49 +22,68 @@ SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const Sla
   fn_drain_alien_ = sym.Intern("__drain_alien_cache");
   fn_grow_ = sym.Intern("cache_grow");
 
-  first_page_ = config_.base_addr / config_.page_size;
-  bump_ = config_.base_addr;
+  // One arena per core plus the trailing metadata arena. Page tables are
+  // fully sized and slab arrays fully reserved up front: the owning core may
+  // append during the engine's parallel phase while other cores resolve
+  // addresses published in earlier epochs.
+  const int num_arenas = machine_->num_cores() + 1;
+  const size_t pages_per_arena = config_.arena_stride / config_.page_size;
+  arenas_.resize(num_arenas);
+  for (int a = 0; a < num_arenas; ++a) {
+    Arena& arena = arenas_[a];
+    arena.base = config_.base_addr + static_cast<Addr>(a) * config_.arena_stride;
+    arena.bump = arena.base;
+    arena.limit = arena.base + config_.arena_stride;
+    arena.pages.assign(pages_per_arena, PageInfo());
+    arena.slabs.reserve(config_.max_slabs_per_arena);
+  }
 }
 
-SlabAllocator::PageInfo* SlabAllocator::PageFor(Addr addr) {
-  const uint64_t page = addr / config_.page_size;
-  if (page < first_page_ || page - first_page_ >= pages_.size()) {
-    return nullptr;
+int SlabAllocator::ArenaOf(Addr addr) const {
+  if (addr < config_.base_addr) {
+    return -1;
   }
-  return &pages_[page - first_page_];
+  const Addr offset = addr - config_.base_addr;
+  const Addr index = offset / config_.arena_stride;
+  if (index >= arenas_.size()) {
+    return -1;
+  }
+  return static_cast<int>(index);
 }
 
 const SlabAllocator::PageInfo* SlabAllocator::PageFor(Addr addr) const {
-  const uint64_t page = addr / config_.page_size;
-  if (page < first_page_ || page - first_page_ >= pages_.size()) {
+  const int a = ArenaOf(addr);
+  if (a < 0) {
     return nullptr;
   }
-  return &pages_[page - first_page_];
+  const Arena& arena = arenas_[a];
+  return &arena.pages[(addr - arena.base) / config_.page_size];
 }
 
-Addr SlabAllocator::BumpPages(uint32_t num_pages, PageInfo info) {
-  const Addr base = bump_;
-  bump_ += static_cast<Addr>(num_pages) * config_.page_size;
-  const uint64_t first = base / config_.page_size - first_page_;
-  if (pages_.size() < first + num_pages) {
-    pages_.resize(first + num_pages);
-  }
+Addr SlabAllocator::BumpPages(Arena& arena, uint32_t num_pages, PageInfo info) {
+  const Addr base = arena.bump;
+  DPROF_CHECK(base + static_cast<Addr>(num_pages) * config_.page_size <= arena.limit);
+  arena.bump += static_cast<Addr>(num_pages) * config_.page_size;
+  const uint64_t first = (base - arena.base) / config_.page_size;
   for (uint32_t i = 0; i < num_pages; ++i) {
-    pages_[first + i] = info;
+    arena.pages[first + i] = info;
   }
   return base;
 }
 
 Addr SlabAllocator::AllocMeta(TypeId type, uint32_t size) {
-  // Metadata and static objects get their own pages, found via meta ranges.
+  // Metadata and static objects get their own pages in the setup-time
+  // metadata arena, found via meta ranges.
   const uint32_t pages = (size + config_.page_size - 1) / config_.page_size;
-  const Addr base = BumpPages(std::max(1u, pages), PageInfo{PageInfo::Kind::kMeta, 0});
+  const Addr base =
+      BumpPages(arenas_.back(), std::max(1u, pages), PageInfo{PageInfo::Kind::kMeta, 0});
   meta_ranges_.push_back(MetaRange{base, size, type});
   return base;
 }
 
 Addr SlabAllocator::RegisterStatic(TypeId type, uint32_t size) {
   const Addr base = AllocMeta(type, size);
+  statics_.push_back(MetaRange{base, size, type});
   // The paper's DProf learns statically-allocated objects from the
   // executable's debug information; model that as an allocation event so
   // static objects join the address set.
@@ -71,6 +91,12 @@ Addr SlabAllocator::RegisterStatic(TypeId type, uint32_t size) {
     obs->OnAlloc(type, base, size, 0, machine_->MaxClock());
   }
   return base;
+}
+
+void SlabAllocator::ReplayStatics(AllocationObserver* observer) const {
+  for (const MetaRange& range : statics_) {
+    observer->OnAlloc(range.type, range.base, range.size, 0, machine_->MaxClock());
+  }
 }
 
 SlabAllocator::KmemCache& SlabAllocator::CacheFor(TypeId type) {
@@ -103,19 +129,30 @@ SlabAllocator::KmemCache& SlabAllocator::CacheFor(TypeId type) {
 
 SimLock* SlabAllocator::CacheLock(TypeId type) { return CacheFor(type).lock.get(); }
 
-uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache) {
+void SlabAllocator::PrepareParallel(int num_cores) {
+  DPROF_CHECK(num_cores == machine_->num_cores());
+  // Lazily-created kmem_caches allocate metadata from the shared arena; make
+  // sure every registered type has its cache before drivers run in parallel.
+  for (TypeId type = 0; type < static_cast<TypeId>(registry_->size()); ++type) {
+    CacheFor(type);
+  }
+}
+
+uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
   const uint32_t span = config_.slab_header_size + cache.obj_size;
   const uint32_t num_pages = (span + config_.page_size - 1) / config_.page_size;
   const uint32_t bytes = num_pages * config_.page_size;
   const uint32_t num_objects =
       std::max(1u, (bytes - config_.slab_header_size) / cache.obj_size);
 
-  const uint32_t slab_id = static_cast<uint32_t>(slabs_.size());
+  Arena& arena = arenas_[ctx.core()];
+  DPROF_CHECK(arena.slabs.size() < config_.max_slabs_per_arena);
+  const uint32_t slab_id = static_cast<uint32_t>(arena.slabs.size());
   const Addr page_base =
-      BumpPages(num_pages, PageInfo{PageInfo::Kind::kSlab, slab_id});
+      BumpPages(arena, num_pages, PageInfo{PageInfo::Kind::kSlab, slab_id});
 
-  slabs_.emplace_back();
-  Slab& slab = slabs_.back();
+  arena.slabs.emplace_back();
+  Slab& slab = arena.slabs.back();
   slab.cache_id = static_cast<uint32_t>(&cache - caches_.data());
   slab.page_base = page_base;
   slab.num_pages = num_pages;
@@ -130,20 +167,21 @@ uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache) {
   // Initialize the on-slab header (type "slab").
   ctx.Write(fn_grow_, page_base, config_.slab_header_size);
   ctx.Compute(fn_grow_, 150);
-  cache.partial.push_back(slab_id);
+  pc.partial.push_back(slab_id);
   return slab_id;
 }
 
 void SlabAllocator::Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
   ctx.LockAcquire(*cache.lock, fn_refill_);
   ctx.Compute(fn_refill_, 60);
+  Arena& arena = arenas_[ctx.core()];
   uint32_t want = config_.batch_count;
   while (want > 0) {
-    if (cache.partial.empty()) {
-      GrowCache(ctx, cache);
+    if (pc.partial.empty()) {
+      GrowCache(ctx, cache, pc);
     }
-    const uint32_t slab_id = cache.partial.back();
-    Slab& slab = slabs_[slab_id];
+    const uint32_t slab_id = pc.partial.back();
+    Slab& slab = arena.slabs[slab_id];
     // Walk the slab's bookkeeping structures (type "slab").
     ctx.Access(fn_refill_, slab.page_base, 32, true);
     while (want > 0 && !slab.freelist.empty()) {
@@ -153,21 +191,23 @@ void SlabAllocator::Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc)
       --want;
     }
     if (slab.freelist.empty()) {
-      cache.partial.pop_back();
+      pc.partial.pop_back();
     }
   }
   ctx.LockRelease(*cache.lock, fn_refill_);
 }
 
-void SlabAllocator::ReturnToSlab(CoreContext& ctx, KmemCache& cache, Addr obj) {
+void SlabAllocator::ReturnToSlab(KmemCache& cache, Addr obj) {
+  const int owner = ArenaOf(obj);
+  DPROF_CHECK(owner >= 0 && owner < machine_->num_cores());
+  Arena& arena = arenas_[owner];
   const PageInfo* page = PageFor(obj);
   DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
-  Slab& slab = slabs_[page->slab_id];
+  Slab& slab = arena.slabs[page->slab_id];
   const uint16_t idx =
       static_cast<uint16_t>((obj - slab.objs_base) / cache.obj_size);
-  ctx.Access(fn_refill_, slab.page_base + 8, 16, true);
   if (slab.freelist.empty()) {
-    cache.partial.push_back(page->slab_id);
+    cache.per_core[owner].partial.push_back(page->slab_id);
   }
   slab.freelist.push_back(idx);
 }
@@ -178,7 +218,11 @@ void SlabAllocator::FlushMagazine(CoreContext& ctx, KmemCache& cache, PerCoreCac
   for (uint32_t i = 0; i < config_.batch_count && !pc.magazine.empty(); ++i) {
     const Addr obj = pc.magazine.front();
     pc.magazine.erase(pc.magazine.begin());
-    ReturnToSlab(ctx, cache, obj);
+    // free_block() updates the slab descriptor's free count and linkage.
+    const PageInfo* page = PageFor(obj);
+    DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
+    ctx.Access(fn_refill_, arenas_[ctx.core()].slabs[page->slab_id].page_base + 8, 16, true);
+    ReturnToSlab(cache, obj);
   }
   ctx.LockRelease(*cache.lock, fn_free_);
 }
@@ -199,6 +243,29 @@ void SlabAllocator::TouchLiveAccounting(KmemCache& cache, uint64_t now, int delt
   }
 }
 
+void SlabAllocator::CommitAllocEvent(TypeId type, Addr base, uint32_t size, int core,
+                                     uint64_t now) {
+  KmemCache& cache = CacheFor(type);
+  ++cache.stats.allocs;
+  TouchLiveAccounting(cache, now, +1);
+  for (AllocationObserver* obs : observers_) {
+    obs->OnAlloc(type, base, size, core, now);
+  }
+}
+
+void SlabAllocator::CommitFreeEvent(TypeId type, Addr base, uint32_t size, int core,
+                                    uint64_t now, bool alien) {
+  KmemCache& cache = CacheFor(type);
+  ++cache.stats.frees;
+  if (alien) {
+    ++cache.stats.alien_frees;
+  }
+  TouchLiveAccounting(cache, now, -1);
+  for (AllocationObserver* obs : observers_) {
+    obs->OnFree(type, base, size, core, now);
+  }
+}
+
 Addr SlabAllocator::Alloc(CoreContext& ctx, TypeId type, FunctionId ip) {
   KmemCache& cache = CacheFor(type);
   PerCoreCache& pc = cache.per_core[ctx.core()];
@@ -214,17 +281,15 @@ Addr SlabAllocator::Alloc(CoreContext& ctx, TypeId type, FunctionId ip) {
   // Read the magazine slot that held the pointer.
   ctx.Read(fn_alloc_, pc.array_cache_addr + 24 + 8 * (pc.magazine.size() % 13), 8);
 
+  // Objects in a core's magazine always come from its own arena.
+  Arena& arena = arenas_[ctx.core()];
   const PageInfo* page = PageFor(obj);
   DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
-  Slab& slab = slabs_[page->slab_id];
+  Slab& slab = arena.slabs[page->slab_id];
   const uint32_t idx = static_cast<uint32_t>((obj - slab.objs_base) / cache.obj_size);
   slab.home[idx] = static_cast<int8_t>(ctx.core());
 
-  ++cache.stats.allocs;
-  TouchLiveAccounting(cache, ctx.now(), +1);
-  for (AllocationObserver* obs : observers_) {
-    obs->OnAlloc(type, obj, cache.obj_size, ctx.core(), ctx.now());
-  }
+  ctx.NotifyAllocEvent(type, obj, cache.obj_size);
   return obj;
 }
 
@@ -232,9 +297,11 @@ void SlabAllocator::Free(CoreContext& ctx, Addr addr, FunctionId ip) {
   const ResolveResult res = Resolve(addr);
   DPROF_CHECK(res.valid);
   KmemCache& cache = CacheFor(res.type);
+  const int owner = ArenaOf(res.base);
+  DPROF_CHECK(owner >= 0 && owner < machine_->num_cores());
   const PageInfo* page = PageFor(res.base);
   DPROF_CHECK(page != nullptr && page->kind == PageInfo::Kind::kSlab);
-  Slab& slab = slabs_[page->slab_id];
+  Slab& slab = arenas_[owner].slabs[page->slab_id];
   const uint32_t idx = static_cast<uint32_t>((res.base - slab.objs_base) / cache.obj_size);
   const int home = slab.home[idx];
   DPROF_CHECK(home >= 0);
@@ -244,11 +311,7 @@ void SlabAllocator::Free(CoreContext& ctx, Addr addr, FunctionId ip) {
   ctx.Compute(ip, 25);
   ctx.Read(fn_free_, slab.page_base, 8);
 
-  ++cache.stats.frees;
-  TouchLiveAccounting(cache, ctx.now(), -1);
-  for (AllocationObserver* obs : observers_) {
-    obs->OnFree(res.type, res.base, cache.obj_size, ctx.core(), ctx.now());
-  }
+  ctx.NotifyFreeEvent(res.type, res.base, cache.obj_size, home != ctx.core());
 
   if (home == ctx.core()) {
     PerCoreCache& pc = cache.per_core[ctx.core()];
@@ -262,7 +325,6 @@ void SlabAllocator::Free(CoreContext& ctx, Addr addr, FunctionId ip) {
     // drains in a batch under the cache lock (__drain_alien_cache), writing
     // the home cores' array_caches — the remote writes that make
     // array_cache objects bounce between cores (paper Table 6.1/6.2).
-    ++cache.stats.alien_frees;
     PerCoreCache& pc = cache.per_core[ctx.core()];
     ctx.Access(fn_free_, pc.alien_addr, 16, true);
     pc.alien.push_back(AlienEntry{res.base, static_cast<int8_t>(home)});
@@ -282,21 +344,47 @@ void SlabAllocator::DrainAlien(CoreContext& ctx, KmemCache& cache, PerCoreCache&
     // bookkeeping bounce between cores (Table 6.1).
     if (const PageInfo* page = PageFor(entry.obj);
         page != nullptr && page->kind == PageInfo::Kind::kSlab) {
-      ctx.Write(fn_drain_alien_, slabs_[page->slab_id].page_base + 16, 8);
+      ctx.Write(fn_drain_alien_, arenas_[entry.home].slabs[page->slab_id].page_base + 16, 8);
     }
     PerCoreCache& home_pc = cache.per_core[entry.home];
     ctx.Access(fn_drain_alien_, home_pc.array_cache_addr, 16, true);
+    if (ctx.recording()) {
+      // Engine mode: the simulated traffic is recorded now, but the host
+      // transfer into the home core's magazine lands at the epoch boundary
+      // (FlushEpoch) so the home core's state stays core-owned during the
+      // parallel phase.
+      pc.staged.push_back(entry);
+      continue;
+    }
     home_pc.magazine.push_back(entry.obj);
     if (home_pc.magazine.size() > config_.magazine_capacity) {
       for (uint32_t i = 0; i < config_.batch_count && !home_pc.magazine.empty(); ++i) {
         const Addr obj = home_pc.magazine.front();
         home_pc.magazine.erase(home_pc.magazine.begin());
-        ReturnToSlab(ctx, cache, obj);
+        // free_block() updates the slab descriptor of the returned object.
+        if (const PageInfo* obj_page = PageFor(obj);
+            obj_page != nullptr && obj_page->kind == PageInfo::Kind::kSlab) {
+          ctx.Access(fn_refill_, arenas_[ArenaOf(obj)].slabs[obj_page->slab_id].page_base + 8,
+                     16, true);
+        }
+        ReturnToSlab(cache, obj);
       }
     }
   }
   pc.alien.clear();
   ctx.LockRelease(*cache.lock, fn_drain_alien_);
+}
+
+void SlabAllocator::FlushEpoch() {
+  // Deterministic application order: cache id, then staging core, then FIFO.
+  for (KmemCache& cache : caches_) {
+    for (PerCoreCache& pc : cache.per_core) {
+      for (const AlienEntry& entry : pc.staged) {
+        cache.per_core[entry.home].magazine.push_back(entry.obj);
+      }
+      pc.staged.clear();
+    }
+  }
 }
 
 ResolveResult SlabAllocator::Resolve(Addr addr) const {
@@ -306,7 +394,8 @@ ResolveResult SlabAllocator::Resolve(Addr addr) const {
     return out;
   }
   if (page->kind == PageInfo::Kind::kSlab) {
-    const Slab& slab = slabs_[page->slab_id];
+    const Arena& arena = arenas_[ArenaOf(addr)];
+    const Slab& slab = arena.slabs[page->slab_id];
     const KmemCache& cache = caches_[slab.cache_id];
     if (addr < slab.objs_base) {
       out.valid = true;
@@ -371,5 +460,37 @@ double SlabAllocator::AverageLiveBytes(TypeId type, uint64_t now) const {
 }
 
 uint64_t SlabAllocator::LiveCount(TypeId type) const { return type_stats(type).live; }
+
+std::vector<Addr> SlabAllocator::LiveObjects(TypeId type, size_t max) const {
+  std::vector<Addr> out;
+  // Statically registered objects are always live.
+  for (const MetaRange& range : statics_) {
+    if (range.type == type && out.size() < max) {
+      out.push_back(range.base);
+    }
+  }
+  auto it = cache_by_type_.find(type);
+  if (it == cache_by_type_.end() || out.size() >= max) {
+    return out;
+  }
+  const uint32_t cache_id = it->second;
+  const KmemCache& cache = caches_[cache_id];
+  for (const Arena& arena : arenas_) {
+    for (const Slab& slab : arena.slabs) {
+      if (slab.cache_id != cache_id) {
+        continue;
+      }
+      for (uint32_t i = 0; i < slab.num_objects && out.size() < max; ++i) {
+        if (slab.home[i] >= 0) {
+          out.push_back(slab.objs_base + static_cast<Addr>(i) * cache.obj_size);
+        }
+      }
+      if (out.size() >= max) {
+        return out;
+      }
+    }
+  }
+  return out;
+}
 
 }  // namespace dprof

@@ -2,7 +2,7 @@
 //
 // Structure (paper §5.2, §6.1):
 //  - One kmem_cache per data type, with per-core array_caches (magazines of
-//    free objects) and a cache-wide slab list protected by a lock.
+//    free objects) and per-core slab arenas protected by a lock.
 //  - Slabs are page-sized regions with an on-slab header; objects are carved
 //    at fixed offsets, so any interior pointer resolves to (type, base,
 //    offset) by arithmetic — this implements DProf's memory type resolver.
@@ -15,6 +15,20 @@
 // headers, kmem_cache structs) lives in *simulated memory* and is touched
 // through CoreContext::Access, so allocator metadata shows up in DProf's
 // views exactly as it does in Table 6.1 of the paper.
+//
+// Engine-compatibility: the simulated address space is split into one arena
+// per core (plus a setup-time metadata arena), and slab lists are per-core,
+// so every host-state mutation Alloc/Free performs is owned by the calling
+// core. Cross-core effects flow through two deterministic channels instead:
+//  - allocation events (stats, AllocationObservers) are delivered through
+//    CoreContext::NotifyAllocEvent and arrive via CommitAllocEvent /
+//    CommitFreeEvent in committed order;
+//  - alien frees are staged per freeing core and transferred into the home
+//    cores' magazines by FlushEpoch at epoch boundaries (in direct mode the
+//    drain applies immediately, as before).
+// Arena page tables and slab arrays use preallocated storage, so concurrent
+// readers resolving addresses published in earlier epochs never race with
+// the owner core growing its arena.
 
 #ifndef DPROF_SRC_ALLOC_SLAB_ALLOCATOR_H_
 #define DPROF_SRC_ALLOC_SLAB_ALLOCATOR_H_
@@ -54,6 +68,11 @@ struct SlabConfig {
   uint32_t magazine_capacity = 32;  // array_cache entries per core
   uint32_t batch_count = 16;        // objects moved per refill/flush
   Addr base_addr = 0x100000000ull;  // start of the simulated heap
+  // Simulated address space per core arena (and for the metadata arena).
+  Addr arena_stride = 256ull * 1024 * 1024;
+  // Upper bound on slabs per arena; storage is preallocated so concurrent
+  // cross-core address resolution never observes a reallocating array.
+  uint32_t max_slabs_per_arena = 8192;
 };
 
 struct AllocatorTypeStats {
@@ -78,6 +97,12 @@ class SlabAllocator : public AllocatorIface {
   // AllocatorIface:
   Addr Alloc(CoreContext& ctx, TypeId type, FunctionId ip) override;
   void Free(CoreContext& ctx, Addr addr, FunctionId ip) override;
+  void PrepareParallel(int num_cores) override;
+  void FlushEpoch() override;
+  void CommitAllocEvent(TypeId type, Addr base, uint32_t size, int core,
+                        uint64_t now) override;
+  void CommitFreeEvent(TypeId type, Addr base, uint32_t size, int core, uint64_t now,
+                       bool alien) override;
 
   // Maps any address (interior pointers included) to its containing object.
   // Works for slab objects, slab headers, allocator metadata, and static
@@ -86,17 +111,29 @@ class SlabAllocator : public AllocatorIface {
 
   // Registers a statically allocated object (the paper resolves these via
   // executable debug info). Returns its base address in the simulated
-  // static data segment.
+  // static data segment. Setup-time only: never call from a driver running
+  // under the engine.
   Addr RegisterStatic(TypeId type, uint32_t size);
 
   void AddObserver(AllocationObserver* observer) { observers_.push_back(observer); }
   void RemoveObserver(AllocationObserver* observer);
+
+  // Replays every RegisterStatic registration into `observer` as OnAlloc
+  // events (the paper's DProf reads static objects from the executable's
+  // debug information, so they are knowable at attach time regardless of
+  // when the workload registered them).
+  void ReplayStatics(AllocationObserver* observer) const;
 
   TypeRegistry& registry() { return *registry_; }
   const AllocatorTypeStats& type_stats(TypeId type) const;
   // Average live bytes of `type` over the window since construction.
   double AverageLiveBytes(TypeId type, uint64_t now) const;
   uint64_t LiveCount(TypeId type) const;
+
+  // Up to `max` currently-live objects of `type`, in deterministic
+  // (arena, slab, object-index) order. Used by the history collector to arm
+  // debug registers on long-lived objects that are never recycled.
+  std::vector<Addr> LiveObjects(TypeId type, size_t max) const;
 
   // The lock protecting a cache's slab lists ("SLAB cache lock" in the
   // paper's lock-stat table). Exposed for lock-stat name registration.
@@ -127,7 +164,11 @@ class SlabAllocator : public AllocatorIface {
     Addr array_cache_addr = 0;   // simulated array_cache struct (128B)
     Addr alien_addr = 0;         // simulated alien array (also an array_cache)
     std::vector<Addr> magazine;  // free object addresses
-    std::vector<AlienEntry> alien;  // cross-core frees awaiting a drain
+    std::vector<AlienEntry> alien;   // cross-core frees awaiting a drain
+    std::vector<uint32_t> partial;   // this core's slab ids with free objects
+    // Engine mode: drained alien entries staged by this core, moved into the
+    // home cores' magazines at the next epoch boundary.
+    std::vector<AlienEntry> staged;
   };
 
   struct KmemCache {
@@ -136,14 +177,24 @@ class SlabAllocator : public AllocatorIface {
     Addr struct_addr = 0;  // simulated kmem_cache struct
     std::unique_ptr<SimLock> lock;
     std::vector<PerCoreCache> per_core;
-    std::vector<uint32_t> partial;  // slab ids with free objects
     AllocatorTypeStats stats;
   };
 
   struct PageInfo {
     enum class Kind : uint8_t { kUnused, kSlab, kMeta };
     Kind kind = Kind::kUnused;
-    uint32_t slab_id = 0;
+    uint32_t slab_id = 0;  // arena-local
+  };
+
+  // One core's slice of the simulated heap. `pages` and `slabs` are sized
+  // up front (see SlabConfig) so the owning core can append while other
+  // cores resolve previously published addresses.
+  struct Arena {
+    Addr base = 0;
+    Addr bump = 0;
+    Addr limit = 0;
+    std::vector<PageInfo> pages;
+    std::vector<Slab> slabs;
   };
 
   struct MetaRange {
@@ -152,18 +203,19 @@ class SlabAllocator : public AllocatorIface {
     TypeId type = kInvalidType;
   };
 
+  // Arena index of `addr`, or -1 when outside the simulated heap.
+  int ArenaOf(Addr addr) const;
+  const PageInfo* PageFor(Addr addr) const;
+
   KmemCache& CacheFor(TypeId type);
-  uint32_t GrowCache(CoreContext& ctx, KmemCache& cache);
+  uint32_t GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
   void Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
   void FlushMagazine(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
   void DrainAlien(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
-  void ReturnToSlab(CoreContext& ctx, KmemCache& cache, Addr obj);
+  void ReturnToSlab(KmemCache& cache, Addr obj);
   Addr AllocMeta(TypeId type, uint32_t size);
-  Addr BumpPages(uint32_t num_pages, PageInfo info);
+  Addr BumpPages(Arena& arena, uint32_t num_pages, PageInfo info);
   void TouchLiveAccounting(KmemCache& cache, uint64_t now, int delta);
-
-  PageInfo* PageFor(Addr addr);
-  const PageInfo* PageFor(Addr addr) const;
 
   Machine* machine_;
   TypeRegistry* registry_;
@@ -181,12 +233,10 @@ class SlabAllocator : public AllocatorIface {
 
   std::vector<KmemCache> caches_;
   std::unordered_map<TypeId, uint32_t> cache_by_type_;
-  std::vector<Slab> slabs_;
-  std::vector<PageInfo> pages_;  // indexed by (page - first_page)
-  uint64_t first_page_ = 0;
-  Addr bump_ = 0;
+  std::vector<Arena> arenas_;  // one per core, plus the trailing meta arena
 
   std::vector<MetaRange> meta_ranges_;  // sorted by base
+  std::vector<MetaRange> statics_;      // RegisterStatic entries, in order
   std::vector<AllocationObserver*> observers_;
   AllocatorTypeStats empty_stats_;
 };

@@ -1,11 +1,15 @@
 #include "src/cli/bench_registry.h"
 
+#include <sys/wait.h>
+
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "src/cli/scenario_registry.h"
 #include "src/dprof/session.h"
+#include "src/machine/engine.h"
 #include "src/util/check.h"
 #include "src/util/json_writer.h"
 #include "src/workload/apache.h"
@@ -172,7 +176,112 @@ BenchReport RunApacheThroughput(const BenchParams& params) {
   return report;
 }
 
+// Epoch-engine scaling on the paper's 16-core memcached scenario: the full
+// `dprof run` pipeline (phase-1 IBS collection + phase-2 histories + views)
+// timed on the legacy sequential loop, the engine at one thread, and the
+// engine at hardware concurrency. Engine outputs are bit-identical across
+// thread counts; only wall-clock moves.
+BenchReport RunParallelEngine(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "parallel_engine";
+  const uint64_t cycles = Scaled(params.scale, 40'000'000);
+
+  auto run_once = [&](int threads, bool use_engine) {
+    // Both sides time the same work: phase-1 collection, phase-2 histories
+    // for the top types, the profile table, and miss classification (view
+    // JSON rendering is skipped on both).
+    ScenarioParams sp;
+    sp.cores = 16;
+    sp.seed = params.seed;
+    sp.collect_cycles = cycles;
+    sp.threads = threads;
+    sp.build_view_json = false;
+    const auto start = Clock::now();
+    if (use_engine) {
+      RunScenario(ScenarioRegistry::Default(), "memcached", sp);
+    } else {
+      // The pre-engine baseline: the same session pipeline on the legacy
+      // step-the-minimum-clock-core loop.
+      auto rig = MakeBaseRig(sp);
+      MemcachedWorkload workload(rig->env.get(), MemcachedConfig{});
+      workload.Install(*rig->machine);
+      rig->options.ibs_period_ops = 200;
+      rig->collect_cycles = cycles;
+      DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
+      session.CollectAccessSamples(rig->collect_cycles);
+      session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
+      session.BuildDataProfile().ToTable(10);
+      MissClassifier::ToTable(session.ClassifyMisses());
+    }
+    return ElapsedNs(start) / 1e9;
+  };
+
+  const double legacy_s = run_once(0, false);
+  const double engine_t1_s = run_once(1, true);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const double engine_thw_s = run_once(0, true);
+
+  report.metrics.push_back({"legacy_loop_seconds", legacy_s, "s"});
+  report.metrics.push_back({"engine_threads1_seconds", engine_t1_s, "s"});
+  report.metrics.push_back({"engine_hw_threads", static_cast<double>(hw), "threads"});
+  report.metrics.push_back({"engine_hw_seconds", engine_thw_s, "s"});
+  report.metrics.push_back(
+      {"speedup_hw_vs_legacy", engine_thw_s > 0 ? legacy_s / engine_thw_s : 0.0, "x"});
+  report.metrics.push_back(
+      {"speedup_hw_vs_threads1", engine_thw_s > 0 ? engine_t1_s / engine_thw_s : 0.0, "x"});
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Paper-table reproduction programs (bench/table_*.cc, figure_*, ablations)
+// surfaced through this registry: `dprof bench table_6_1_memcached_profile`
+// executes the sibling bench_* binary and relays its report.
+// ---------------------------------------------------------------------------
+
+std::string& BenchProgramDir() {
+  static std::string* dir = new std::string();
+  return *dir;
+}
+
+BenchReport RunTableProgram(const std::string& name, const BenchParams& params) {
+  (void)params;  // the reproduction programs fix their own seeds and scales
+  BenchReport report;
+  report.bench = name;
+  const std::string& dir = BenchProgramDir();
+  if (dir.empty()) {
+    report.text = "bench program directory unknown (not invoked via the dprof CLI)\n";
+    report.metrics.push_back({"exit_code", -1.0, ""});
+    return report;
+  }
+  const std::string command = dir + "/bench_" + name + " 2>&1";
+  const auto start = Clock::now();
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    report.text = "failed to start " + command + "\n";
+    report.metrics.push_back({"exit_code", -1.0, ""});
+    return report;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    report.text.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  // Decode the wait status: exit code when the program exited, -signal when
+  // it died on one, -1 when pclose itself failed.
+  int exit_code = -1;
+  if (status >= 0) {
+    exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                  : (WIFSIGNALED(status) ? -WTERMSIG(status) : -1);
+  }
+  report.metrics.push_back({"exit_code", static_cast<double>(exit_code), ""});
+  report.metrics.push_back({"host_seconds", ElapsedNs(start) / 1e9, "s"});
+  return report;
+}
+
 }  // namespace
+
+void SetBenchProgramDir(const std::string& dir) { BenchProgramDir() = dir; }
 
 bool BenchRegistry::Register(const std::string& name, const std::string& description,
                              BenchFn fn) {
@@ -216,12 +325,35 @@ void RegisterBuiltinBenches(BenchRegistry& registry) {
   registry.Register("apache_throughput",
                     "simulated Apache req/s at peak / drop-off / fixed",
                     RunApacheThroughput);
+  registry.Register("parallel_engine",
+                    "epoch-engine wall-clock: legacy loop vs 1 / N host threads "
+                    "on the 16-core memcached scenario",
+                    RunParallelEngine);
+
+  // Paper-table reproductions (standalone bench/ programs run from here).
+  static const char* kTablePrograms[] = {
+      "table_6_1_memcached_profile", "table_6_2_lockstat_memcached",
+      "table_6_3_oprofile_memcached", "table_6_4_6_5_apache_profile",
+      "table_6_6_lockstat_apache",   "table_6_7_history_collection",
+      "table_6_8_history_rates",     "table_6_9_overhead_breakdown",
+      "table_6_10_pairwise",         "figure_6_1_dataflow_skbuff",
+      "figure_6_2_ibs_overhead",     "figure_6_3_unique_paths",
+      "ablation_pairwise",           "ablation_sampling_rate",
+      "case_study_fixes"};
+  for (const char* name : kTablePrograms) {
+    registry.Register(
+        name, std::string("paper reproduction: runs the standalone bench_") + name,
+        [name](const BenchParams& params) { return RunTableProgram(name, params); });
+  }
 }
 
 std::string BenchReportToJson(const BenchReport& report) {
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").String(report.bench);
+  if (!report.text.empty()) {
+    json.Key("output").String(report.text);
+  }
   json.Key("metrics").BeginArray();
   for (const BenchMetric& metric : report.metrics) {
     json.BeginObject();
@@ -237,6 +369,12 @@ std::string BenchReportToJson(const BenchReport& report) {
 
 std::string BenchReportToText(const BenchReport& report) {
   std::string out = "bench: " + report.bench + "\n";
+  if (!report.text.empty()) {
+    out += report.text;
+    if (out.back() != '\n') {
+      out += '\n';
+    }
+  }
   for (const BenchMetric& metric : report.metrics) {
     char line[160];
     std::snprintf(line, sizeof(line), "  %-36s %14.2f %s\n", metric.name.c_str(),

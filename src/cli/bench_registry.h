@@ -24,6 +24,9 @@ struct BenchMetric {
 struct BenchReport {
   std::string bench;
   std::vector<BenchMetric> metrics;
+  // Free-form program output (paper-table reproductions); printed before the
+  // metrics in text mode, embedded as "output" in JSON.
+  std::string text;
 };
 
 struct BenchParams {
@@ -57,6 +60,12 @@ class BenchRegistry {
 };
 
 void RegisterBuiltinBenches(BenchRegistry& registry);
+
+// Directory holding the standalone bench_* reproduction executables
+// (bench/table_*.cc et al.). The CLI sets this from argv[0] so the
+// registered paper-table benches can run them from one driver; when unset,
+// those benches report an error metric instead.
+void SetBenchProgramDir(const std::string& dir);
 
 // Renders `report` as the machine-readable JSON document
 // `dprof bench --json` prints.

@@ -8,6 +8,10 @@
 //   --json             machine-readable output (run, bench)
 //   --cores N          simulated cores for run (default 16)
 //   --cycles N         phase-1 collection length in simulated cycles
+//   --threads N        host worker threads for the epoch engine (run;
+//                      default 0 = hardware concurrency; output is
+//                      bit-identical for every value)
+//   --type NAME        per-type path-trace drill-down (run)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -49,6 +53,8 @@ struct ParsedFlags {
   uint64_t cycles = 0;
   uint64_t seed = 1;
   double scale = 1.0;
+  int threads = 0;
+  std::string drill_type;
 };
 
 // Strict unsigned decimal parse; rejects empty values and trailing garbage
@@ -123,6 +129,19 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
     } else if (arg == "--seed") {
       const char* v = next_value("--seed");
       if (v == nullptr || !ParseUInt("--seed", v, &flags->seed)) return false;
+    } else if (arg == "--threads") {
+      const char* v = next_value("--threads");
+      uint64_t threads = 0;
+      if (v == nullptr || !ParseUInt("--threads", v, &threads)) return false;
+      if (threads > 1024) {
+        std::fprintf(stderr, "dprof: --threads must be in [0, 1024]\n");
+        return false;
+      }
+      flags->threads = static_cast<int>(threads);
+    } else if (arg == "--type") {
+      const char* v = next_value("--type");
+      if (v == nullptr) return false;
+      flags->drill_type = v;
     } else if (arg == "--scale") {
       const char* v = next_value("--scale");
       if (v == nullptr) return false;
@@ -163,14 +182,22 @@ int CmdRun(const std::vector<std::string>& args) {
     return 2;
   }
   ParsedFlags flags;
-  if (!ParseFlags(args, 3, "--json --cores --cycles --seed", &flags)) return 2;
+  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed", &flags))
+    return 2;
 
   ScenarioParams params;
   params.cores = flags.cores;
   params.seed = flags.seed;
   params.collect_cycles = flags.cycles;
+  params.threads = flags.threads;
   params.build_view_json = flags.json;
+  params.drill_type = flags.drill_type;
   const ScenarioReport report = RunScenario(registry, name, params);
+  if (!report.drill_type.empty() && !report.drill_type_found) {
+    std::fprintf(stderr, "dprof: scenario '%s' has no type named '%s'\n", name.c_str(),
+                 report.drill_type.c_str());
+    return 2;
+  }
 
   if (flags.json) {
     std::printf("%s\n", ScenarioReportToJson(report).c_str());
@@ -183,6 +210,15 @@ int CmdRun(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(report.access_samples));
   std::printf("== data profile ==\n%s\n", report.profile_table.c_str());
   std::printf("== miss classification ==\n%s\n", report.miss_class_table.c_str());
+  if (!report.drill_type.empty()) {
+    if (report.path_trace_text.empty()) {
+      std::printf("== path traces: %s ==\n(no histories collected)\n",
+                  report.drill_type.c_str());
+    } else {
+      std::printf("== path traces: %s ==\n%s", report.drill_type.c_str(),
+                  report.path_trace_text.c_str());
+    }
+  }
   return 0;
 }
 
@@ -215,6 +251,12 @@ int CmdBench(const std::vector<std::string>& args) {
 
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
+  if (!args.empty()) {
+    // The paper-table benches exec sibling bench_* binaries from our dir.
+    const std::string& self = args[0];
+    const size_t slash = self.rfind('/');
+    SetBenchProgramDir(slash == std::string::npos ? "." : self.substr(0, slash));
+  }
   if (args.size() < 2) return Usage(stderr);
   const std::string& command = args[1];
   if (command == "list") return CmdList();

@@ -1,8 +1,10 @@
 #include "src/cli/scenario_registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/dprof/miss_classifier.h"
+#include "src/machine/engine.h"
 #include "src/util/check.h"
 #include "src/util/json_writer.h"
 #include "src/workload/apache.h"
@@ -121,10 +123,14 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
             std::make_unique<ConflictDemoWorkload>(rig->env.get(), ConflictDemoConfig{});
         rig->options.ibs_period_ops = 100;
         rig->collect_cycles = 20'000'000;
-        // Hot objects live forever, so no allocations ever hit the history
-        // collector; keep the (futile) watch phase short.
+        // Hot objects live forever: the collector arms debug registers on
+        // already-live objects (HistoryCollector::Poll). A coarse sweep with
+        // a small per-history element cap lets each type's sweep complete
+        // well before the phase cap instead of spinning to it.
         rig->options.history_phase_max_cycles = 10'000'000;
-        rig->history_sets = 2;
+        rig->options.history.granularity = 8;
+        rig->options.history.max_elements_per_history = 256;
+        rig->history_sets = 1;
         ApplyParams(*rig, params);
         return rig;
       });
@@ -139,11 +145,60 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   DPROF_CHECK(rig != nullptr && rig->workload != nullptr);
   rig->workload->Install(*rig->machine);
 
+  // Validate the drill-down type before spending the run: workloads
+  // register every type during rig construction / install.
+  TypeId drill = kInvalidType;
+  if (!params.drill_type.empty()) {
+    drill = rig->registry->Find(params.drill_type);
+    if (drill == kInvalidType) {
+      ScenarioReport report;
+      report.scenario = name;
+      report.drill_type = params.drill_type;
+      report.drill_type_found = false;
+      return report;
+    }
+  }
+
+  // All scenario runs execute on the epoch engine; the thread count only
+  // affects wall-clock, never the committed stream or the report.
+  EngineConfig engine_config;
+  engine_config.threads = params.threads;
+  Engine engine(rig->machine.get(), engine_config);
+  rig->machine->SetExecutor(&engine);
+
   DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
   session.CollectAccessSamples(rig->collect_cycles);
   session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
 
+  ScenarioReport drill_report_part;
+  if (!params.drill_type.empty()) {
+    drill_report_part.drill_type = params.drill_type;
+    {
+      drill_report_part.drill_type_found = true;
+      if (session.histories(drill).empty()) {
+        session.CollectHistories(drill, rig->history_sets);
+      }
+      std::vector<PathTrace> traces = session.BuildPathTraces(drill);
+      std::sort(traces.begin(), traces.end(),
+                [](const PathTrace& a, const PathTrace& b) { return a.frequency > b.frequency; });
+      const size_t top_n = std::min<size_t>(traces.size(), 5);
+      JsonWriter traces_json;
+      traces_json.BeginArray();
+      for (size_t i = 0; i < top_n; ++i) {
+        drill_report_part.path_trace_text +=
+            PathTraceBuilder::ToTable(traces[i], rig->machine->symbols()) + "\n";
+        traces_json.Raw(PathTraceBuilder::ToJson(traces[i], rig->machine->symbols()));
+      }
+      traces_json.EndArray();
+      drill_report_part.path_traces_json = traces_json.str();
+    }
+  }
+
   ScenarioReport report;
+  report.drill_type = drill_report_part.drill_type;
+  report.drill_type_found = drill_report_part.drill_type_found;
+  report.path_trace_text = std::move(drill_report_part.path_trace_text);
+  report.path_traces_json = std::move(drill_report_part.path_traces_json);
   report.scenario = name;
   report.cores = rig->machine->num_cores();
   report.collect_cycles = rig->collect_cycles;
@@ -209,6 +264,12 @@ std::string ScenarioReportToJson(const ScenarioReport& report) {
   if (!report.data_flow_json.empty()) {
     json.Key("data_flow_type").String(report.top_type);
     json.Key("data_flow").Raw(report.data_flow_json);
+  }
+  if (!report.drill_type.empty()) {
+    json.Key("path_trace_type").String(report.drill_type);
+    json.Key("path_traces").Raw(report.drill_type_found && !report.path_traces_json.empty()
+                                    ? report.path_traces_json
+                                    : "[]");
   }
   json.EndObject();
   json.EndObject();

@@ -45,9 +45,16 @@ struct ScenarioParams {
   uint64_t seed = 1;
   // 0 = keep the scenario's default collect_cycles.
   uint64_t collect_cycles = 0;
+  // Host worker threads for the epoch engine; 0 = hardware_concurrency.
+  // The committed event stream — and so the whole report — is bit-identical
+  // for every value, including 1.
+  int threads = 0;
   // Whether RunScenario should render the per-view JSON documents into the
   // report; text-only callers skip that work.
   bool build_view_json = true;
+  // Per-type drill-down: also collect histories for this type (by name) and
+  // include its path traces in the report.
+  std::string drill_type;
 };
 
 using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const ScenarioParams&)>;
@@ -114,6 +121,11 @@ struct ScenarioReport {
   // Data flow of the top profiled type, when histories were collected.
   std::string top_type;
   std::string data_flow_json;
+  // --type drill-down results (empty unless ScenarioParams::drill_type set).
+  std::string drill_type;
+  bool drill_type_found = false;
+  std::string path_trace_text;    // Table 4.1-style listings
+  std::string path_traces_json;   // JSON array of path traces
 };
 
 // Builds the rig, runs both DProf phases, and assembles the report.

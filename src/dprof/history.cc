@@ -7,12 +7,14 @@
 namespace dprof {
 
 HistoryCollector::HistoryCollector(Machine* machine, DebugRegisterFile* regs, TypeId type,
-                                   uint32_t object_size, const HistoryCollectorOptions& options)
+                                   uint32_t object_size, const HistoryCollectorOptions& options,
+                                   SlabAllocator* allocator)
     : machine_(machine),
       regs_(regs),
       type_(type),
       object_size_(object_size),
       options_(options),
+      allocator_(allocator),
       rng_(options.seed) {
   DPROF_CHECK(options_.granularity >= 1 &&
               options_.granularity <= DebugRegisterFile::kMaxWatchBytes);
@@ -46,8 +48,12 @@ void HistoryCollector::OnAlloc(TypeId type, Addr base, uint32_t size, int core, 
     FinishMonitoring(false);
   }
   if (type != type_ || monitoring_ || done()) {
+    if (type == type_) {
+      ++alloc_events_seen_;
+    }
     return;
   }
+  ++alloc_events_seen_;
   if (now < earliest_arm_) {
     return;
   }
@@ -110,7 +116,9 @@ void HistoryCollector::OnDebugHit(const AccessEvent& event, int reg) {
   elem.ip = event.ip;
   elem.cpu = static_cast<uint16_t>(event.core);
   elem.is_write = event.is_write;
-  elem.time = event.now - current_.alloc_time;
+  // Cores are only loosely synchronized: a hit can arrive from a core whose
+  // clock still trails the monitor's post-broadcast start time.
+  elem.time = event.now > current_.alloc_time ? event.now - current_.alloc_time : 0;
   current_.elements.push_back(elem);
   ++overhead_.elements_recorded;
 
@@ -167,6 +175,30 @@ void HistoryCollector::AdvanceScan() {
       ++sets_completed_;
     }
   }
+}
+
+void HistoryCollector::Poll(uint64_t now) {
+  // Timeout for a stale in-flight object; with no allocation events for any
+  // type, OnAlloc's timeout check never runs, so it must also live here.
+  if (monitoring_ && now > current_.alloc_time &&
+      now - current_.alloc_time > options_.max_monitor_cycles) {
+    FinishMonitoring(false);
+  }
+  if (!options_.arm_live_objects || allocator_ == nullptr || monitoring_ || done()) {
+    return;
+  }
+  if (alloc_events_seen_ > 0 || now < earliest_arm_) {
+    // The type recycles (allocation-triggered arming works), or we are
+    // still pacing the setup broadcast.
+    return;
+  }
+  const std::vector<Addr> live = allocator_->LiveObjects(type_, 4096);
+  if (live.empty()) {
+    return;
+  }
+  const Addr base = live[live_cursor_ % live.size()];
+  ++live_cursor_;
+  BeginMonitoring(base, 0, now);
 }
 
 void HistoryCollector::Stop() {

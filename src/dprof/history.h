@@ -66,6 +66,11 @@ struct HistoryCollectorOptions {
   // the machine in IPIs (the paper's fastest collection rate, 4,600
   // histories/s, corresponds to roughly one setup per 217k cycles).
   uint64_t min_rearm_cycles = 150'000;
+  // Debug registers watch addresses, not allocations: when a type's objects
+  // never recycle (no allocation events arrive to trigger arming), Poll()
+  // arms the sweep on already-live objects instead of spinning to the phase
+  // cap. Requires the collector to be built with an allocator.
+  bool arm_live_objects = true;
   uint64_t seed = 0xdeb6;
 };
 
@@ -82,9 +87,12 @@ struct HistoryOverhead {
 class HistoryCollector final : public AllocationObserver {
  public:
   // The collector drives `regs` (it installs its own handler) and charges
-  // setup costs to `machine`'s cores.
+  // setup costs to `machine`'s cores. With an `allocator`, Poll() can arm
+  // already-live objects of types that never allocate (see
+  // HistoryCollectorOptions::arm_live_objects).
   HistoryCollector(Machine* machine, DebugRegisterFile* regs, TypeId type, uint32_t object_size,
-                   const HistoryCollectorOptions& options = {});
+                   const HistoryCollectorOptions& options = {},
+                   SlabAllocator* allocator = nullptr);
 
   HistoryCollector(const HistoryCollector&) = delete;
   HistoryCollector& operator=(const HistoryCollector&) = delete;
@@ -92,6 +100,13 @@ class HistoryCollector final : public AllocationObserver {
   // AllocationObserver:
   void OnAlloc(TypeId type, Addr base, uint32_t size, int core, uint64_t now) override;
   void OnFree(TypeId type, Addr base, uint32_t size, int core, uint64_t now) override;
+
+  // Periodic trigger, called by the session between run slices. Times out a
+  // stale in-flight object, and — if this collector's type has produced no
+  // allocation events — arms the debug registers on an already-live object
+  // so non-recycling types (conflict_demo's hot statics) still get their
+  // sweep instead of idling to the phase cap.
+  void Poll(uint64_t now);
 
   // Abandons any in-flight monitoring (call before detaching).
   void Stop();
@@ -118,6 +133,9 @@ class HistoryCollector final : public AllocationObserver {
   TypeId type_;
   uint32_t object_size_;
   HistoryCollectorOptions options_;
+  SlabAllocator* allocator_ = nullptr;
+  uint64_t alloc_events_seen_ = 0;
+  size_t live_cursor_ = 0;
 
   std::vector<uint32_t> offsets_;  // offsets in the sweep
   uint32_t scan_i_ = 0;            // current offset index (single + pair mode)

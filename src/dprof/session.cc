@@ -17,6 +17,9 @@ DProfSession::DProfSession(Machine* machine, SlabAllocator* allocator,
   machine_->AddPmuHook(ibs_.get());
   machine_->AddPmuHook(debug_regs_.get());
   allocator_->AddObserver(&addresses_);
+  // Static objects are knowable from debug info at attach time (paper §5.2),
+  // no matter when the workload registered them.
+  allocator_->ReplayStatics(&addresses_);
 }
 
 DProfSession::~DProfSession() {
@@ -37,13 +40,19 @@ uint64_t DProfSession::CollectHistories(TypeId type, uint32_t sets) {
   history_options.max_sets = sets;
 
   const uint32_t object_size = allocator_->registry().Size(type);
-  HistoryCollector collector(machine_, debug_regs_.get(), type, object_size, history_options);
+  HistoryCollector collector(machine_, debug_regs_.get(), type, object_size, history_options,
+                             allocator_);
   allocator_->AddObserver(&collector);
 
   const uint64_t start = machine_->MaxClock();
   const uint64_t deadline = start + options_.history_phase_max_cycles;
   while (!collector.done() && machine_->MaxClock() < deadline) {
     machine_->RunFor(200'000);
+    // For types whose objects never recycle, arm already-live objects
+    // (debug-register semantics: watchpoints address memory, not
+    // allocations). After the first slice, a recycling type has produced
+    // allocation events and Poll leaves arming to OnAlloc.
+    collector.Poll(machine_->MaxClock());
   }
   collector.Stop();
   allocator_->RemoveObserver(&collector);

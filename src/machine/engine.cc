@@ -1,0 +1,411 @@
+#include "src/machine/engine.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dprof {
+
+namespace {
+
+// Merge keys pack (timestamp << 5) | core, so an unconditional min
+// reduction picks the smallest timestamp with ties to the lowest core id —
+// the same rule the legacy loop's MinClockCore uses; per-core queues are
+// FIFO, so same-core ops keep program order. The reduction over a fixed
+// 32-slot array compiles to branchless min chains, which beats both a
+// binary heap and a branchy argmin scan at this fan-in. Clocks stay far
+// below 2^59, so the shift never overflows.
+constexpr uint64_t kDoneKey = ~0ull;
+
+uint64_t PackKey(uint64_t timestamp, int core) {
+  return (timestamp << 5) | static_cast<uint64_t>(core);
+}
+
+// Balanced-tree reduction: log-depth dependency chain, so the four-wide min
+// stages overlap instead of serializing like a linear fold.
+template <int kWidth>
+__attribute__((always_inline)) inline uint64_t MinKeyTree(const uint64_t* keys) {
+  uint64_t m[kWidth / 2];
+  for (int i = 0; i < kWidth / 2; ++i) {
+    m[i] = std::min(keys[2 * i], keys[2 * i + 1]);
+  }
+  for (int width = kWidth / 2; width > 1; width /= 2) {
+    for (int i = 0; i < width / 2; ++i) {
+      m[i] = std::min(m[2 * i], m[2 * i + 1]);
+    }
+  }
+  return m[0];
+}
+
+__attribute__((always_inline)) inline uint64_t MinKey(const uint64_t* keys, int cores) {
+  if (cores <= 8) {
+    return MinKeyTree<8>(keys);
+  }
+  if (cores <= 16) {
+    return MinKeyTree<16>(keys);
+  }
+  return MinKeyTree<32>(keys);
+}
+
+}  // namespace
+
+Engine::Engine(Machine* machine, const EngineConfig& config)
+    : machine_(machine), config_(config) {
+  DPROF_CHECK(config_.epoch_cycles > 0);
+  threads_ = config_.threads > 0 ? config_.threads
+                                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ < 1) {
+    threads_ = 1;
+  }
+  num_shards_ = machine_->hierarchy().num_shards();
+  const int cores = machine_->num_cores();
+  recorders_.resize(cores);
+  lock_wait_.assign(cores, 0);
+  blocked_on_.assign(cores, nullptr);
+  block_start_.assign(cores, 0);
+  probe_latency_.assign(cores, 0);
+  probe_active_.assign(cores, 0);
+
+  const int max_width = std::max(cores, static_cast<int>(num_shards_));
+  const int spawn = std::min(threads_ - 1, max_width - 1);
+  workers_.reserve(spawn);
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back(&Engine::WorkerLoop, this);
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+// Claims the next index of dispatch `generation`, or -1 when that dispatch
+// has no indices left (or has been superseded — a straggler from a finished
+// dispatch must never claim into the next one). Claims are whole-core /
+// whole-shard units, so the mutex is uncontended in practice.
+int Engine::ClaimIndex(uint64_t generation) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (generation_ != generation || next_index_ >= task_count_) {
+    return -1;
+  }
+  return next_index_++;
+}
+
+void Engine::FinishIndex(uint64_t generation) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (generation_ == generation && ++finished_ == task_count_) {
+    done_cv_.notify_all();
+  }
+}
+
+void Engine::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      task = task_;
+    }
+    for (int i = ClaimIndex(seen); i >= 0; i = ClaimIndex(seen)) {
+      (*task)(i);
+      FinishIndex(seen);
+    }
+  }
+}
+
+void Engine::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (workers_.empty() || count <= 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = &fn;
+    task_count_ = count;
+    next_index_ = 0;
+    finished_ = 0;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  for (int i = ClaimIndex(generation); i >= 0; i = ClaimIndex(generation)) {
+    fn(i);
+    FinishIndex(generation);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return finished_ == count; });
+  task_ = nullptr;
+}
+
+void Engine::RunFor(uint64_t cycles) {
+  Machine& m = *machine_;
+  if (m.allocator_ != nullptr) {
+    m.allocator_->PrepareParallel(m.num_cores());
+  }
+  const uint64_t deadline = m.MinClock() + cycles;
+  while (true) {
+    const uint64_t min_clock = m.MinClock();
+    if (min_clock >= deadline) {
+      break;
+    }
+    RunEpoch(std::min(deadline, min_clock + config_.epoch_cycles));
+  }
+}
+
+void Engine::RunEpoch(uint64_t epoch_end) {
+  Machine& m = *machine_;
+  const int cores = m.num_cores();
+  for (int c = 0; c < cores; ++c) {
+    CoreRecorder& rec = recorders_[c];
+    // Calibrate the core's lower-bound cost model from the epoch just
+    // committed: measured access-attributable clock advance (latency + PMU
+    // interrupts + lock waits) over the raw estimate. Smoothed 3:1 to damp
+    // oscillation; pure function of committed state, so identical for any
+    // thread count.
+    const uint64_t advance = m.clocks_[c] - rec.epoch_start_clock;
+    if (rec.raw_access_cost > 0 && advance > rec.exact_cost) {
+      uint64_t scale16 = ((advance - rec.exact_cost) * 16) / rec.raw_access_cost;
+      scale16 = std::min<uint64_t>(std::max<uint64_t>(scale16, 16), 4096);
+      rec.cost_scale16 =
+          static_cast<uint32_t>((3ull * rec.cost_scale16 + scale16) / 4);
+    }
+    rec.Reset(m.clocks_[c], num_shards_);
+  }
+  ParallelFor(cores, [&](int core) { SimulateCore(core, epoch_end); });
+  ParallelFor(static_cast<int>(num_shards_),
+              [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
+  CommitEpoch();
+  if (m.allocator_ != nullptr) {
+    m.allocator_->FlushEpoch();
+  }
+  for (EpochHook* hook : m.epoch_hooks_) {
+    hook->OnEpochCommit(m.MaxClock());
+  }
+  ++epochs_run_;
+}
+
+void Engine::SimulateCore(int core, uint64_t epoch_end) {
+  Machine& m = *machine_;
+  CoreRecorder& rec = recorders_[core];
+  CoreDriver* driver = m.drivers_[core];
+  CoreContext ctx(&m, core, &rec);
+  while (rec.lb < epoch_end) {
+    const bool did_work = driver != nullptr && driver->Step(ctx);
+    if (!did_work) {
+      SimOp op;
+      op.kind = SimOp::kIdle;
+      op.t = rec.lb;
+      op.aux = m.config_.idle_cycles;
+      rec.Push(op);
+      rec.ChargeExact(m.config_.idle_cycles);
+    }
+  }
+}
+
+void Engine::ApplyShard(uint32_t shard) {
+  Machine& m = *machine_;
+  const int cores = m.num_cores();
+  uint64_t keys[kMaxCores];
+  size_t cursor[kMaxCores] = {0};
+  int remaining = 0;
+  for (int c = 0; c < kMaxCores; ++c) {
+    keys[c] = kDoneKey;
+  }
+  for (int c = 0; c < cores; ++c) {
+    const auto& list = recorders_[c].shard_ops[shard];
+    if (!list.empty()) {
+      keys[c] = PackKey(recorders_[c].ops[list[0]].t, c);
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    const int core = static_cast<int>(MinKey(keys, cores) & 31u);
+    CoreRecorder& rec = recorders_[core];
+    const auto& list = rec.shard_ops[shard];
+    SimOp& op = rec.ops[list[cursor[core]]];
+    const AccessResult r = m.hierarchy_.Access(core, op.addr, op.size, op.is_write, op.t);
+    op.aux = SimOp::PackResult(r.latency, r.level, r.invalidation);
+    if (++cursor[core] < list.size()) {
+      keys[core] = PackKey(rec.ops[list[cursor[core]]].t, core);
+    } else {
+      keys[core] = kDoneKey;
+      --remaining;
+    }
+  }
+}
+
+void Engine::CommitEpoch() {
+  Machine& m = *machine_;
+  const int cores = m.num_cores();
+  size_t cursor[kMaxCores] = {0};
+  // Commit order is the legacy scheduling rule at op granularity: always
+  // the core with the smallest *committed* clock (ties to the lowest id).
+  // Ordering by recorded lb timestamps instead would let a core whose true
+  // clock raced ahead (PMU interrupts, miss latencies) release locks far in
+  // the future and drag every later acquirer's clock up with it — phantom
+  // waits that collapse throughput. Keys refresh after every op since the
+  // op itself moves the core's clock.
+  uint64_t keys[kMaxCores];
+  int remaining = 0;
+  for (int c = 0; c < kMaxCores; ++c) {
+    keys[c] = kDoneKey;
+  }
+  for (int c = 0; c < cores; ++c) {
+    if (!recorders_[c].ops.empty()) {
+      keys[c] = PackKey(m.clocks_[c], c);
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    const uint64_t min_key = MinKey(keys, cores);
+    // All live queues parked on locks with no pending release would mean a
+    // critical section spanning a driver step, which drivers must not do.
+    DPROF_CHECK(min_key != kDoneKey);
+    const int core = static_cast<int>(min_key & 31u);
+    CoreRecorder& rec = recorders_[core];
+    const SimOp& op = rec.ops[cursor[core]];
+    uint64_t& clock = m.clocks_[core];
+
+    switch (op.kind) {
+      case SimOp::kAccess: {
+        const uint32_t latency = op.ResultLatency();
+        clock += m.config_.base_op_cost + latency;
+        if (probe_active_[core] != 0) {
+          probe_latency_[core] += latency;
+        }
+        AccessEvent event;
+        event.core = core;
+        event.ip = op.ip;
+        event.addr = op.addr;
+        event.size = op.size;
+        event.is_write = op.is_write;
+        event.level = op.ResultLevel();
+        event.latency = latency;
+        event.invalidation = op.ResultInvalidation();
+        event.now = clock;
+        for (MachineObserver* obs : m.observers_) {
+          obs->OnAccess(event);
+        }
+        for (PmuHook* hook : m.pmu_hooks_) {
+          const uint64_t extra = hook->OnAccess(event);
+          if (extra != 0) {
+            clock += extra;
+          }
+        }
+        break;
+      }
+      case SimOp::kCompute: {
+        clock += op.aux;
+        for (MachineObserver* obs : m.observers_) {
+          obs->OnCompute(core, op.ip, op.aux, clock);
+        }
+        break;
+      }
+      case SimOp::kIdle: {
+        clock += op.aux;
+        break;
+      }
+      case SimOp::kLockAcquire: {
+        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
+        if (lock->holder_ >= 0 && lock->holder_ != core) {
+          // The holder's release is still pending in this commit: park this
+          // core (its queue stops merging) until that release wakes it.
+          // Without parking, the nondecreasing commit-clock order would make
+          // every same-epoch wait zero and let critical sections overlap.
+          if (blocked_on_[core] == nullptr) {
+            blocked_on_[core] = lock;
+            block_start_[core] = clock;
+          }
+          keys[core] = kDoneKey;
+          continue;  // op not consumed; retried after the wake-up
+        }
+        uint64_t wait = 0;
+        if (blocked_on_[core] != nullptr) {
+          blocked_on_[core] = nullptr;
+          wait = clock > block_start_[core] ? clock - block_start_[core] : 0;
+        }
+        if (lock->free_at_ > clock) {
+          wait += lock->free_at_ - clock;
+          clock = lock->free_at_;
+        }
+        lock_wait_[core] = wait;
+        lock->holder_ = core;  // claimed now; acquired_at_ stamps at Done
+        break;
+      }
+      case SimOp::kLockAcquireDone: {
+        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
+        lock->holder_ = core;
+        lock->acquired_at_ = clock;
+        if (m.lock_observer_ != nullptr) {
+          m.lock_observer_->OnAcquire(*lock, core, op.ip, lock_wait_[core], clock);
+        }
+        break;
+      }
+      case SimOp::kLockRelease: {
+        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
+        const uint64_t hold = clock - lock->acquired_at_;
+        lock->free_at_ = clock;
+        lock->holder_ = -1;
+        if (m.lock_observer_ != nullptr) {
+          m.lock_observer_->OnRelease(*lock, core, op.ip, hold, clock);
+        }
+        // Wake cores parked on this lock: they waited until this release,
+        // then re-arbitrate by the usual min-clock rule.
+        for (int c = 0; c < cores; ++c) {
+          if (blocked_on_[c] == lock) {
+            if (clock > m.clocks_[c]) {
+              m.clocks_[c] = clock;
+            }
+            keys[c] = PackKey(m.clocks_[c], c);
+          }
+        }
+        break;
+      }
+      case SimOp::kAllocEvent: {
+        m.allocator_->CommitAllocEvent(static_cast<TypeId>(op.aux >> 32), op.addr,
+                                       static_cast<uint32_t>(op.aux), core, clock);
+        break;
+      }
+      case SimOp::kFreeEvent: {
+        m.allocator_->CommitFreeEvent(static_cast<TypeId>(op.aux >> 32), op.addr,
+                                      static_cast<uint32_t>(op.aux), core, clock, op.flag);
+        break;
+      }
+      case SimOp::kProbeBegin: {
+        probe_active_[core] = 1;
+        probe_latency_[core] = 0;
+        break;
+      }
+      case SimOp::kProbeEnd: {
+        probe_active_[core] = 0;
+        double divisor = 1.0;
+        __builtin_memcpy(&divisor, &op.aux, sizeof(double));
+        reinterpret_cast<RunningStat*>(op.addr)->Add(
+            static_cast<double>(probe_latency_[core]) / divisor);
+        break;
+      }
+    }
+
+    if (++cursor[core] < rec.ops.size()) {
+      keys[core] = PackKey(clock, core);
+    } else {
+      keys[core] = kDoneKey;
+      --remaining;
+    }
+  }
+}
+
+}  // namespace dprof

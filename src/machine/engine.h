@@ -1,0 +1,121 @@
+// Epoch-batched parallel execution engine with deterministic replay.
+//
+// The legacy Machine loop steps the globally-minimum-clock core one driver
+// step at a time, interleaving simulation and hierarchy state at every
+// operation. This engine splits a run into bounded-cycle *epochs* and each
+// epoch into three strictly-barriered phases:
+//
+//   1. SIMULATE (parallel over cores): every CoreDriver runs with a
+//      recording CoreContext until its lower-bound clock reaches the epoch
+//      end. Drivers, the allocator fast paths, and RNGs touch only
+//      core-owned state; every memory access, compute burst, lock
+//      operation, and allocation event is appended to the core's SimOp
+//      queue with its lower-bound timestamp.
+//   2. APPLY (parallel over hierarchy shards): the recorded accesses are
+//      merged per shard in (timestamp, core) order and applied to the cache
+//      hierarchy. All hierarchy state partitions by line number
+//      (CacheHierarchy::num_shards), so shard workers never share state,
+//      and each shard's merge order is a pure function of the recorded
+//      queues. Each op's latency/level/invalidation result is stored back
+//      into the op.
+//   3. COMMIT (sequential): all queues are merged in (timestamp, core)
+//      order one final time to reconstruct exact core clocks: latencies,
+//      PMU interrupt charges, and lock waits accumulate per core, and every
+//      observer, PMU hook, lock observer, and allocation event fires here
+//      with its committed clock — the same stream a sequential commit would
+//      produce. Epoch hooks (mailboxes, allocator alien transfers) run
+//      last.
+//
+// Because phase 1 is core-local, phase 2 is shard-local with a fixed merge
+// order, and phase 3 is sequential with the same fixed order, the committed
+// event stream — and therefore every profile built from it — is
+// bit-identical for any host thread count, including 1.
+
+#ifndef DPROF_SRC_MACHINE_ENGINE_H_
+#define DPROF_SRC_MACHINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/machine/machine.h"
+
+namespace dprof {
+
+struct EngineConfig {
+  // Host worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  // Epoch length in simulated cycles: the bound on cross-core skew of the
+  // lower-bound clocks within one parallel phase, and the granularity at
+  // which cross-core mailboxes (EpochHook) exchange state.
+  uint64_t epoch_cycles = 20'000;
+};
+
+class Engine final : public Executor {
+ public:
+  // Matches CacheHierarchy's core-count bound; merge scratch is stack-sized.
+  static constexpr int kMaxCores = 32;
+
+  Engine(Machine* machine, const EngineConfig& config = {});
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Executor: runs epochs until every core clock >= MinClock() + cycles.
+  void RunFor(uint64_t cycles) override;
+
+  int threads() const { return threads_; }
+  const EngineConfig& config() const { return config_; }
+  uint64_t epochs_run() const { return epochs_run_; }
+
+ private:
+  void RunEpoch(uint64_t epoch_end);
+  void SimulateCore(int core, uint64_t epoch_end);
+  void ApplyShard(uint32_t shard);
+  void CommitEpoch();
+
+  // Runs fn(0..count-1) on the worker pool; the calling thread participates.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+  void WorkerLoop();
+  int ClaimIndex(uint64_t generation);
+  void FinishIndex(uint64_t generation);
+
+  Machine* machine_;
+  EngineConfig config_;
+  int threads_ = 1;
+  uint32_t num_shards_ = 1;
+  std::vector<CoreRecorder> recorders_;
+  uint64_t epochs_run_ = 0;
+
+  // Per-core commit-time lock state (wait stashed between kLockAcquire and
+  // kLockAcquireDone; park bookkeeping while a holder's release is pending)
+  // and latency-probe accumulators.
+  std::vector<uint64_t> lock_wait_;
+  std::vector<SimLock*> blocked_on_;
+  std::vector<uint64_t> block_start_;
+  std::vector<uint64_t> probe_latency_;
+  std::vector<uint8_t> probe_active_;
+
+  // Worker pool (created only when threads > 1). All dispatch state is
+  // guarded by mu_; generation_ identifies the current dispatch so a
+  // straggler can never claim indices of a later one.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  int task_count_ = 0;
+  int next_index_ = 0;
+  int finished_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_MACHINE_ENGINE_H_

@@ -26,6 +26,11 @@ void Machine::RemovePmuHook(PmuHook* hook) {
   pmu_hooks_.erase(std::remove(pmu_hooks_.begin(), pmu_hooks_.end(), hook), pmu_hooks_.end());
 }
 
+void Machine::RemoveEpochHook(EpochHook* hook) {
+  epoch_hooks_.erase(std::remove(epoch_hooks_.begin(), epoch_hooks_.end(), hook),
+                     epoch_hooks_.end());
+}
+
 uint64_t Machine::MinClock() const {
   return *std::min_element(clocks_.begin(), clocks_.end());
 }
@@ -57,6 +62,10 @@ void Machine::StepCore(int core) {
 }
 
 void Machine::RunFor(uint64_t cycles) {
+  if (executor_ != nullptr) {
+    executor_->RunFor(cycles);
+    return;
+  }
   const uint64_t deadline = MinClock() + cycles;
   while (MinClock() < deadline) {
     StepCore(MinClockCore());
@@ -81,8 +90,36 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
   // to the number of instructions, as on real hardware.
   Machine& m = *machine_;
   const uint32_t line_size = m.hierarchy_.line_size();
-  AccessResult total;
 
+  if (recorder_ != nullptr) {
+    // Engine mode: queue one op per line chunk; results resolve at commit.
+    const uint32_t l1_latency = m.config_.hierarchy.latency.l1;
+    AccessResult total;
+    Addr at = addr;
+    uint32_t remaining = size;
+    while (remaining > 0) {
+      const uint32_t line_room = static_cast<uint32_t>(line_size - (at % line_size));
+      const uint32_t chunk = remaining < line_room ? remaining : line_room;
+      SimOp op;
+      op.kind = SimOp::kAccess;
+      op.t = recorder_->lb;
+      op.addr = at;
+      op.size = chunk;
+      op.ip = ip;
+      op.is_write = is_write;
+      recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(
+          static_cast<uint32_t>(recorder_->ops.size()));
+      recorder_->Push(op);
+      recorder_->ChargeAccess(m.config_.base_op_cost + l1_latency);
+      total.latency += l1_latency;
+      ++total.lines;
+      at += chunk;
+      remaining -= chunk;
+    }
+    return total;  // lower bound: L1 latency, no miss/invalidation flags
+  }
+
+  AccessResult total;
   Addr at = addr;
   uint32_t remaining = size;
   while (remaining > 0) {
@@ -96,6 +133,9 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
     total.l1_miss = total.l1_miss || r.l1_miss;
     total.invalidation = total.invalidation || r.invalidation;
     total.lines += r.lines;
+    if (probing_) {
+      probe_latency_ += r.latency;
+    }
 
     AccessEvent event;
     event.core = core_;
@@ -127,6 +167,16 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
 
 void CoreContext::Compute(FunctionId ip, uint64_t cycles) {
   Machine& m = *machine_;
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kCompute;
+    op.t = recorder_->lb;
+    op.ip = ip;
+    op.aux = cycles;
+    recorder_->Push(op);
+    recorder_->ChargeExact(cycles);
+    return;
+  }
   m.clocks_[core_] += cycles;
   for (MachineObserver* obs : m.observers_) {
     obs->OnCompute(core_, ip, cycles, m.clocks_[core_]);
@@ -145,6 +195,19 @@ void CoreContext::Free(Addr addr, FunctionId ip) {
 
 void CoreContext::LockAcquire(SimLock& lock, FunctionId ip) {
   Machine& m = *machine_;
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kLockAcquire;
+    op.t = recorder_->lb;
+    op.addr = reinterpret_cast<Addr>(&lock);
+    op.ip = ip;
+    recorder_->Push(op);
+    Access(ip, lock.word_, 8, true);
+    op.kind = SimOp::kLockAcquireDone;
+    op.t = recorder_->lb;
+    recorder_->Push(op);
+    return;
+  }
   uint64_t wait = 0;
   if (lock.free_at_ > now()) {
     wait = lock.free_at_ - now();
@@ -161,6 +224,16 @@ void CoreContext::LockAcquire(SimLock& lock, FunctionId ip) {
 
 void CoreContext::LockRelease(SimLock& lock, FunctionId ip) {
   Machine& m = *machine_;
+  if (recorder_ != nullptr) {
+    Access(ip, lock.word_, 8, true);
+    SimOp op;
+    op.kind = SimOp::kLockRelease;
+    op.t = recorder_->lb;
+    op.addr = reinterpret_cast<Addr>(&lock);
+    op.ip = ip;
+    recorder_->Push(op);
+    return;
+  }
   DPROF_DCHECK(lock.holder_ == core_);
   Access(ip, lock.word_, 8, true);
   const uint64_t hold = now() - lock.acquired_at_;
@@ -169,6 +242,60 @@ void CoreContext::LockRelease(SimLock& lock, FunctionId ip) {
   if (m.lock_observer_ != nullptr) {
     m.lock_observer_->OnRelease(lock, core_, ip, hold, now());
   }
+}
+
+void CoreContext::BeginLatencyProbe() {
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kProbeBegin;
+    op.t = recorder_->lb;
+    recorder_->Push(op);
+    return;
+  }
+  probing_ = true;
+  probe_latency_ = 0;
+}
+
+void CoreContext::EndLatencyProbe(RunningStat* stat, double divisor) {
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kProbeEnd;
+    op.t = recorder_->lb;
+    op.addr = reinterpret_cast<Addr>(stat);
+    static_assert(sizeof(double) == sizeof(uint64_t), "divisor packing");
+    __builtin_memcpy(&op.aux, &divisor, sizeof(double));
+    recorder_->Push(op);
+    return;
+  }
+  probing_ = false;
+  stat->Add(static_cast<double>(probe_latency_) / divisor);
+}
+
+void CoreContext::NotifyAllocEvent(TypeId type, Addr base, uint32_t size) {
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kAllocEvent;
+    op.t = recorder_->lb;
+    op.addr = base;
+    op.aux = (static_cast<uint64_t>(type) << 32) | size;
+    recorder_->Push(op);
+    return;
+  }
+  machine_->allocator_->CommitAllocEvent(type, base, size, core_, now());
+}
+
+void CoreContext::NotifyFreeEvent(TypeId type, Addr base, uint32_t size, bool alien) {
+  if (recorder_ != nullptr) {
+    SimOp op;
+    op.kind = SimOp::kFreeEvent;
+    op.t = recorder_->lb;
+    op.addr = base;
+    op.aux = (static_cast<uint64_t>(type) << 32) | size;
+    op.flag = alien;
+    recorder_->Push(op);
+    return;
+  }
+  machine_->allocator_->CommitFreeEvent(type, base, size, core_, now(), alien);
 }
 
 }  // namespace dprof

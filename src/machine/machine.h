@@ -6,6 +6,17 @@
 // cross-core cache coherence and lock arbitration in approximately global
 // time order while drivers stay simple sequential request loops.
 //
+// Two execution modes share this interface:
+//  - Direct mode (the legacy loop): every CoreContext operation executes
+//    against the hierarchy immediately. RunSteps and executor-less RunFor
+//    use it, as do tests that drive contexts by hand.
+//  - Recorded mode: a CoreContext carries a CoreRecorder and operations are
+//    appended as SimOps to per-core queues instead of executing. The epoch
+//    engine (src/machine/engine.h) simulates all cores concurrently this
+//    way, then commits the queues against the hierarchy in deterministic
+//    (cycle, core) order, so the committed event stream is bit-identical
+//    for any host thread count.
+//
 // All instrumentation attaches here:
 //  - MachineObserver: sees every access and compute operation (code profiler).
 //  - PmuHook: may raise "interrupts" by returning extra cycles to charge the
@@ -24,11 +35,14 @@
 #include "src/machine/symbol_table.h"
 #include "src/sim/hierarchy.h"
 #include "src/util/rng.h"
+#include "src/util/stats.h"
 #include "src/util/types.h"
 
 namespace dprof {
 
 class CoreContext;
+class CoreRecorder;
+class Engine;
 class Machine;
 
 // One memory operation as seen by observers and PMU hooks.
@@ -61,11 +75,46 @@ class PmuHook {
 
 // The typed allocator interface the machine exposes to drivers via
 // CoreContext::Alloc/Free. Implemented by SlabAllocator (src/alloc).
+//
+// Under the epoch engine, Alloc/Free run during the parallel simulation
+// phase and must only touch state owned by the calling core; the allocator
+// reports allocation events through CoreContext::NotifyAllocEvent /
+// NotifyFreeEvent, and the engine calls the Commit*Event methods back in
+// deterministic commit order with the committed clock.
 class AllocatorIface {
  public:
   virtual ~AllocatorIface() = default;
   virtual Addr Alloc(CoreContext& ctx, TypeId type, FunctionId ip) = 0;
   virtual void Free(CoreContext& ctx, Addr addr, FunctionId ip) = 0;
+
+  // Called by the engine before parallel simulation starts. Implementations
+  // create any lazily-built shared structures so the parallel phase only
+  // reads them.
+  virtual void PrepareParallel(int num_cores) { (void)num_cores; }
+
+  // Called by the engine on the commit thread after each epoch's commit;
+  // implementations apply staged cross-core transfers here.
+  virtual void FlushEpoch() {}
+
+  // Deferred allocation-event delivery (stats + AllocationObservers) in
+  // deterministic commit order. `now` is the committed clock of the event.
+  virtual void CommitAllocEvent(TypeId type, Addr base, uint32_t size, int core,
+                                uint64_t now) {
+    (void)type;
+    (void)base;
+    (void)size;
+    (void)core;
+    (void)now;
+  }
+  virtual void CommitFreeEvent(TypeId type, Addr base, uint32_t size, int core, uint64_t now,
+                               bool alien) {
+    (void)type;
+    (void)base;
+    (void)size;
+    (void)core;
+    (void)now;
+    (void)alien;
+  }
 };
 
 // Per-core workload logic. Step() performs one unit of work (typically one
@@ -90,6 +139,7 @@ class SimLock {
 
  private:
   friend class CoreContext;
+  friend class Engine;
   std::string name_;
   Addr word_ = kNullAddr;
   uint64_t free_at_ = 0;
@@ -104,6 +154,109 @@ class LockObserver {
                          uint64_t now) = 0;
   virtual void OnRelease(const SimLock& lock, int core, FunctionId ip, uint64_t hold_cycles,
                          uint64_t now) = 0;
+};
+
+// Pluggable execution strategy for Machine::RunFor (the epoch engine).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void RunFor(uint64_t cycles) = 0;
+};
+
+// Cross-core host-state exchange point (transmit-queue mailboxes, allocator
+// alien-free transfers). The engine invokes hooks on the commit thread after
+// each epoch's commit, in registration order, so staged transfers become
+// visible to the next epoch's parallel phase deterministically.
+class EpochHook {
+ public:
+  virtual ~EpochHook() = default;
+  virtual void OnEpochCommit(uint64_t now) = 0;
+};
+
+// One recorded simulation operation awaiting deterministic commit.
+struct SimOp {
+  enum Kind : uint8_t {
+    kAccess,           // addr/size/is_write; aux receives the apply result
+    kCompute,          // aux = cycles
+    kIdle,             // aux = cycles
+    kLockAcquire,      // addr = SimLock*
+    kLockAcquireDone,  // addr = SimLock*
+    kLockRelease,      // addr = SimLock*
+    kAllocEvent,       // addr = base, aux = type<<32 | size
+    kFreeEvent,        // addr = base, aux = type<<32 | size, flag = alien
+    kProbeBegin,       // latency probe window opens
+    kProbeEnd,         // addr = RunningStat*, aux = divisor bits
+  };
+
+  uint64_t t = 0;  // issuing core's lower-bound clock when recorded
+  Addr addr = kNullAddr;
+  uint64_t aux = 0;
+  FunctionId ip = kInvalidFunction;
+  uint32_t size = 0;
+  Kind kind = kAccess;
+  bool is_write = false;
+  bool flag = false;
+
+  // Apply-phase result packing for kAccess (latency, level, invalidation).
+  static uint64_t PackResult(uint32_t latency, ServedBy level, bool invalidation) {
+    return static_cast<uint64_t>(latency) | (static_cast<uint64_t>(level) << 32) |
+           (static_cast<uint64_t>(invalidation) << 40);
+  }
+  uint32_t ResultLatency() const { return static_cast<uint32_t>(aux); }
+  ServedBy ResultLevel() const { return static_cast<ServedBy>((aux >> 32) & 0xff); }
+  bool ResultInvalidation() const { return ((aux >> 40) & 1) != 0; }
+};
+
+// Per-core operation queue filled during the engine's parallel simulation
+// phase. `lb` is the core's lower-bound clock: the committed clock at epoch
+// start plus the minimum cost of every recorded op (memory latencies assume
+// L1 hits; PMU interrupts and lock waits are unknown until commit). The
+// engine orders commits by each op's recorded `t`, so the interleaving is a
+// pure function of the recorded streams — independent of host threading.
+class CoreRecorder {
+ public:
+  void Reset(uint64_t committed_clock, size_t num_shards) {
+    ops.clear();
+    if (shard_ops.size() != num_shards) {
+      shard_ops.resize(num_shards);
+    }
+    for (auto& list : shard_ops) {
+      list.clear();
+    }
+    lb = committed_clock;
+    epoch_start_clock = committed_clock;
+    raw_access_cost = 0;
+    exact_cost = 0;
+  }
+
+  void Push(const SimOp& op) { ops.push_back(op); }
+
+  // Advances the lower-bound clock for one recorded access of raw cost
+  // `raw` (base op cost + L1 latency). The calibrated scale stretches the
+  // estimate toward this core's recent committed cost per access, so an
+  // epoch's recording window covers roughly epoch_cycles of *true* time;
+  // without it, miss-heavy cores overshoot their window by the full
+  // latency/PMU factor, clocks skew apart at epoch boundaries, and lock
+  // arbitration charges large phantom waits across the skew.
+  void ChargeAccess(uint32_t raw) {
+    lb += (static_cast<uint64_t>(raw) * cost_scale16) >> 4;
+    raw_access_cost += raw;
+  }
+  void ChargeExact(uint64_t cycles) {
+    lb += cycles;
+    exact_cost += cycles;
+  }
+
+  std::vector<SimOp> ops;
+  // Indices of kAccess ops per hierarchy shard, in program order.
+  std::vector<std::vector<uint32_t>> shard_ops;
+  uint64_t lb = 0;
+  uint64_t epoch_start_clock = 0;
+  uint64_t raw_access_cost = 0;  // sum of unscaled access costs this epoch
+  uint64_t exact_cost = 0;       // compute + idle cycles this epoch
+  // Q4 fixed-point committed-cost / raw-cost calibration, fed back by the
+  // engine each epoch (16 = 1.0x).
+  uint32_t cost_scale16 = 16;
 };
 
 struct MachineConfig {
@@ -127,6 +280,7 @@ class Machine {
   const SymbolTable& symbols() const { return symbols_; }
 
   void SetAllocator(AllocatorIface* allocator) { allocator_ = allocator; }
+  AllocatorIface* allocator() { return allocator_; }
   void SetDriver(int core, CoreDriver* driver) { drivers_[core] = driver; }
 
   void AddObserver(MachineObserver* observer) { observers_.push_back(observer); }
@@ -135,15 +289,23 @@ class Machine {
   void RemovePmuHook(PmuHook* hook);
   void SetLockObserver(LockObserver* observer) { lock_observer_ = observer; }
 
+  void AddEpochHook(EpochHook* hook) { epoch_hooks_.push_back(hook); }
+  void RemoveEpochHook(EpochHook* hook);
+
+  // Installs an execution strategy; RunFor delegates to it when set.
+  void SetExecutor(Executor* executor) { executor_ = executor; }
+  Executor* executor() { return executor_; }
+
   uint64_t CoreClock(int core) const { return clocks_[core]; }
   uint64_t MinClock() const;
   uint64_t MaxClock() const;
   Rng& CoreRng(int core) { return rngs_[core]; }
 
   // Runs the scheduling loop until every core clock is >= MinClock() + cycles.
+  // Delegates to the installed executor, when there is one.
   void RunFor(uint64_t cycles);
 
-  // Steps the minimum-clock core exactly `steps` times.
+  // Steps the minimum-clock core exactly `steps` times (always direct mode).
   void RunSteps(uint64_t steps);
 
   // Charges cycles to a core outside any driver step (PMU setup broadcasts,
@@ -154,6 +316,7 @@ class Machine {
 
  private:
   friend class CoreContext;
+  friend class Engine;
 
   int MinClockCore() const;
   void StepCore(int core);
@@ -166,19 +329,29 @@ class Machine {
   std::vector<Rng> rngs_;
   std::vector<MachineObserver*> observers_;
   std::vector<PmuHook*> pmu_hooks_;
+  std::vector<EpochHook*> epoch_hooks_;
   AllocatorIface* allocator_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
+  Executor* executor_ = nullptr;
 };
 
 // Lightweight per-core handle passed to drivers and the allocator. All
 // simulated work — memory accesses, compute, allocation, locking — flows
 // through this API so that clocks, observers, and PMU hooks stay consistent.
+//
+// With a recorder attached (engine mode), operations are queued instead of
+// executed, now() reports the core's lower-bound clock, and Access returns
+// a lower-bound AccessResult (L1 latency, no miss flags); drivers must not
+// branch on the fields a recorded result cannot know.
 class CoreContext {
  public:
   CoreContext(Machine* machine, int core) : machine_(machine), core_(core) {}
+  CoreContext(Machine* machine, int core, CoreRecorder* recorder)
+      : machine_(machine), core_(core), recorder_(recorder) {}
 
   int core() const { return core_; }
-  uint64_t now() const { return machine_->clocks_[core_]; }
+  uint64_t now() const { return recorder_ != nullptr ? recorder_->lb : machine_->clocks_[core_]; }
+  bool recording() const { return recorder_ != nullptr; }
   Machine& machine() { return *machine_; }
   Rng& rng() { return machine_->rngs_[core_]; }
 
@@ -203,9 +376,25 @@ class CoreContext {
   void LockAcquire(SimLock& lock, FunctionId ip);
   void LockRelease(SimLock& lock, FunctionId ip);
 
+  // Latency probe: accumulates the committed memory latency of every access
+  // between Begin and End, then adds total/divisor to `stat`. Works in both
+  // modes; in engine mode the accumulation happens at commit time, so the
+  // stat sees true latencies (drivers cannot — see class comment).
+  void BeginLatencyProbe();
+  void EndLatencyProbe(RunningStat* stat, double divisor);
+
+  // Allocation-event delivery, called by AllocatorIface implementations at
+  // the point the event becomes visible: immediate in direct mode, queued
+  // for deterministic commit in engine mode.
+  void NotifyAllocEvent(TypeId type, Addr base, uint32_t size);
+  void NotifyFreeEvent(TypeId type, Addr base, uint32_t size, bool alien);
+
  private:
   Machine* machine_;
   int core_;
+  CoreRecorder* recorder_ = nullptr;
+  bool probing_ = false;
+  uint64_t probe_latency_ = 0;
 };
 
 }  // namespace dprof

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/check.h"
+
 namespace dprof {
 
 const char* ServedByName(ServedBy level) {
@@ -36,8 +38,68 @@ uint32_t LatencyModel::Of(ServedBy level) const {
   return dram;
 }
 
+CacheHierarchy::DirEntry* CacheHierarchy::DirShard::Find(uint64_t line) {
+  uint64_t i = (line * 0x9e3779b97f4a7c15ull) & mask_;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.line == line) {
+      return &slot.entry;
+    }
+    if (slot.line == kEmpty) {
+      return nullptr;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+const CacheHierarchy::DirEntry* CacheHierarchy::DirShard::Find(uint64_t line) const {
+  return const_cast<DirShard*>(this)->Find(line);
+}
+
+CacheHierarchy::DirEntry& CacheHierarchy::DirShard::GetOrCreate(uint64_t line) {
+  if (used_ * 4 >= slots_.size() * 3) {
+    Grow();
+  }
+  uint64_t i = (line * 0x9e3779b97f4a7c15ull) & mask_;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.line == line) {
+      return slot.entry;
+    }
+    if (slot.line == kEmpty) {
+      slot.line = line;
+      slot.entry = DirEntry();
+      ++used_;
+      return slot.entry;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void CacheHierarchy::DirShard::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{kEmpty, DirEntry()});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.line == kEmpty) {
+      continue;
+    }
+    uint64_t i = (slot.line * 0x9e3779b97f4a7c15ull) & mask_;
+    while (slots_[i].line != kEmpty) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = slot;
+  }
+}
+
+void CacheHierarchy::DirShard::Reset() {
+  slots_.assign(1024, Slot{kEmpty, DirEntry()});
+  mask_ = slots_.size() - 1;
+  used_ = 0;
+}
+
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
-    : config_(config), l3_(config.l3), core_stats_(config.num_cores) {
+    : config_(config), l3_(config.l3), core_stats_(0) {
   DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 32);
   DPROF_CHECK(config.l1.line_size == config.l2.line_size &&
               config.l2.line_size == config.l3.line_size);
@@ -47,6 +109,16 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
     l1_.emplace_back(config.l1);
     l2_.emplace_back(config.l2);
   }
+  // The shard width is bounded by every cache's counter-stripe width so a
+  // shard worker never writes another shard's counters.
+  uint32_t shards = 64;
+  shards = std::min(shards, l1_[0].num_stripes());
+  shards = std::min(shards, l2_[0].num_stripes());
+  shards = std::min(shards, l3_.num_stripes());
+  shard_mask_ = shards - 1;
+  dir_.resize(shards);
+  core_stats_.assign(static_cast<size_t>(config.num_cores) * shards, CoreMemStats());
+  agg_core_stats_.resize(config.num_cores);
 }
 
 void CacheHierarchy::InvalidateFrom(int c, uint64_t line, DirEntry* entry) {
@@ -65,76 +137,115 @@ void CacheHierarchy::HandlePrivateEviction(int c, uint64_t victim, uint64_t now)
   if (l1_[c].Contains(victim) || l2_[c].Contains(victim)) {
     return;  // still held by the other private level
   }
-  auto it = dir_.find(victim);
-  if (it == dir_.end()) {
+  DirEntry* entry = ShardFor(victim).Find(victim);
+  if (entry == nullptr) {
     return;
   }
-  DirEntry& entry = it->second;
-  entry.sharers &= ~(1u << c);
-  if (entry.modified_owner == c) {
+  entry->sharers &= ~(1u << c);
+  if (entry->modified_owner == c) {
     // Dirty victim: write back into the shared L3.
-    entry.modified_owner = -1;
+    entry->modified_owner = -1;
     l3_.Insert(victim, now);
+  }
+}
+
+void CacheHierarchy::WriteUpgrade(int core, uint64_t line, DirEntry& entry, int64_t l1_slot,
+                                  int64_t l2_slot) {
+  uint32_t others = entry.sharers & ~(1u << core);
+  while (others != 0) {
+    const int victim_core = __builtin_ctz(others);
+    others &= others - 1;
+    InvalidateFrom(victim_core, line, &entry);
+  }
+  entry.modified_owner = static_cast<int8_t>(core);
+  entry.sharers |= 1u << core;
+  // The L3 copy is now stale; drop it so remote readers must fetch from us.
+  l3_.Remove(line);
+  // Sole modified owner: later write hits can skip the directory entirely.
+  if (l1_slot >= 0) {
+    l1_[core].SetSlotExclusive(static_cast<uint64_t>(l1_slot), true);
+  }
+  if (l2_slot >= 0) {
+    l2_[core].SetSlotExclusive(static_cast<uint64_t>(l2_slot), true);
+  } else {
+    l2_[core].SetExclusive(line, true);
   }
 }
 
 void CacheHierarchy::AccessLine(int core, uint64_t line, bool is_write, uint64_t now,
                                 ServedBy* level, bool* invalidation) {
-  DirEntry& entry = dir_[line];
   *invalidation = false;
+  Cache& l1 = l1_[core];
+  Cache& l2 = l2_[core];
 
-  if (l1_[core].Touch(line, now)) {
+  const int64_t l1_hit = l1.TouchSlot(line, now);
+  if (l1_hit >= 0) {
     *level = ServedBy::kL1;
-  } else if (l2_[core].Touch(line, now)) {
+    if (!is_write || l1.SlotExclusive(static_cast<uint64_t>(l1_hit))) {
+      return;  // read hit, or write hit on an exclusively-owned line
+    }
+    WriteUpgrade(core, line, ShardFor(line).GetOrCreate(line), l1_hit, -1);
+    return;
+  }
+  const int64_t l2_hit = l2.TouchSlot(line, now);
+  if (l2_hit >= 0) {
     *level = ServedBy::kL2;
-    if (auto evicted = l1_[core].Insert(line, now)) {
+    const bool exclusive = l2.SlotExclusive(static_cast<uint64_t>(l2_hit));
+    uint64_t l1_slot = 0;
+    if (auto evicted = l1.FillAbsent(line, now, &l1_slot)) {
       HandlePrivateEviction(core, *evicted, now);
     }
-  } else {
-    // Private miss. Was it caused by a remote write invalidating our copy?
-    if ((entry.invalidated_from >> core) & 1u) {
-      *invalidation = true;
-      entry.invalidated_from &= ~(1u << core);
+    if (exclusive) {
+      l1.SetSlotExclusive(l1_slot, true);
+      return;  // already sole modified owner, for reads and writes alike
     }
-
-    const uint32_t others = entry.sharers & ~(1u << core);
-    if (entry.modified_owner >= 0 && entry.modified_owner != core) {
-      // Dirty in another core's cache: cache-to-cache transfer. The owner
-      // writes back and keeps a shared copy; L3 picks up the data.
-      *level = ServedBy::kForeignCache;
-      entry.modified_owner = -1;
-      l3_.Insert(line, now);
-    } else if (l3_.Touch(line, now)) {
-      *level = ServedBy::kL3;
-    } else if (others != 0) {
-      // Clean copy only in a sibling's private cache: cache-to-cache transfer.
-      *level = ServedBy::kForeignCache;
-      l3_.Insert(line, now);
-    } else {
-      *level = ServedBy::kDram;
-      l3_.Insert(line, now);
+    if (is_write) {
+      WriteUpgrade(core, line, ShardFor(line).GetOrCreate(line),
+                   static_cast<int64_t>(l1_slot), l2_hit);
     }
-
-    if (auto evicted = l2_[core].Insert(line, now)) {
-      HandlePrivateEviction(core, *evicted, now);
-    }
-    if (auto evicted = l1_[core].Insert(line, now)) {
-      HandlePrivateEviction(core, *evicted, now);
-    }
-    entry.sharers |= 1u << core;
+    return;
   }
 
+  DirEntry& entry = ShardFor(line).GetOrCreate(line);
+  // Private miss. Was it caused by a remote write invalidating our copy?
+  if ((entry.invalidated_from >> core) & 1u) {
+    *invalidation = true;
+    entry.invalidated_from &= ~(1u << core);
+  }
+
+  const uint32_t others = entry.sharers & ~(1u << core);
+  if (entry.modified_owner >= 0 && entry.modified_owner != core) {
+    // Dirty in another core's cache: cache-to-cache transfer. The owner
+    // writes back and keeps a shared copy; L3 picks up the data.
+    *level = ServedBy::kForeignCache;
+    l1_[entry.modified_owner].SetExclusive(line, false);
+    l2_[entry.modified_owner].SetExclusive(line, false);
+    entry.modified_owner = -1;
+    l3_.Insert(line, now);
+  } else if (l3_.Touch(line, now)) {
+    *level = ServedBy::kL3;
+  } else if (others != 0) {
+    // Clean copy only in a sibling's private cache: cache-to-cache transfer.
+    *level = ServedBy::kForeignCache;
+    l3_.Insert(line, now);
+  } else {
+    *level = ServedBy::kDram;
+    l3_.Insert(line, now);
+  }
+
+  uint64_t l2_slot = 0;
+  if (auto evicted = l2.FillAbsent(line, now, &l2_slot)) {
+    HandlePrivateEviction(core, *evicted, now);
+  }
+  uint64_t l1_slot = 0;
+  if (auto evicted = l1.FillAbsent(line, now, &l1_slot)) {
+    HandlePrivateEviction(core, *evicted, now);
+  }
+  entry.sharers |= 1u << core;
+
   if (is_write) {
-    uint32_t others = entry.sharers & ~(1u << core);
-    while (others != 0) {
-      const int victim_core = __builtin_ctz(others);
-      others &= others - 1;
-      InvalidateFrom(victim_core, line, &entry);
-    }
-    entry.modified_owner = static_cast<int8_t>(core);
-    entry.sharers |= 1u << core;
-    // The L3 copy is now stale; drop it so remote readers must fetch from us.
-    l3_.Remove(line);
+    WriteUpgrade(core, line, entry, static_cast<int64_t>(l1_slot),
+                 static_cast<int64_t>(l2_slot));
   }
 }
 
@@ -147,7 +258,6 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
   const uint64_t first = addr / line_size;
   const uint64_t last = (addr + size - 1) / line_size;
 
-  CoreMemStats& stats = core_stats_[core];
   for (uint64_t line = first; line <= last; ++line) {
     ServedBy level = ServedBy::kL1;
     bool invalidation = false;
@@ -159,6 +269,7 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
     result.invalidation = result.invalidation || invalidation;
     ++result.lines;
 
+    CoreMemStats& stats = StatsFor(core, line);
     ++stats.accesses;
     ++stats.served[static_cast<int>(level)];
     if (level == ServedBy::kL1) {
@@ -171,6 +282,23 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
     }
   }
   return result;
+}
+
+const CoreMemStats& CacheHierarchy::core_stats(int core) const {
+  CoreMemStats& agg = agg_core_stats_[core];
+  agg = CoreMemStats();
+  const uint32_t shards = shard_mask_ + 1;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const CoreMemStats& part = core_stats_[static_cast<uint64_t>(core) * shards + s];
+    agg.accesses += part.accesses;
+    agg.l1_hits += part.l1_hits;
+    agg.l1_misses += part.l1_misses;
+    for (int i = 0; i < 5; ++i) {
+      agg.served[i] += part.served[i];
+    }
+    agg.invalidation_misses += part.invalidation_misses;
+  }
+  return agg;
 }
 
 bool CacheHierarchy::InPrivateCache(int core, Addr addr) const {
@@ -186,15 +314,14 @@ ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
   if (l2_[core].Contains(line)) {
     return ServedBy::kL2;
   }
-  auto it = dir_.find(line);
-  if (it != dir_.end() && it->second.modified_owner >= 0 &&
-      it->second.modified_owner != core) {
+  const DirEntry* entry = ShardFor(line).Find(line);
+  if (entry != nullptr && entry->modified_owner >= 0 && entry->modified_owner != core) {
     return ServedBy::kForeignCache;
   }
   if (l3_.Contains(line)) {
     return ServedBy::kL3;
   }
-  if (it != dir_.end() && (it->second.sharers & ~(1u << core)) != 0) {
+  if (entry != nullptr && (entry->sharers & ~(1u << core)) != 0) {
     return ServedBy::kForeignCache;
   }
   return ServedBy::kDram;
@@ -206,7 +333,9 @@ void CacheHierarchy::FlushAll() {
     l2_[c] = Cache(config_.l2);
   }
   l3_ = Cache(config_.l3);
-  dir_.clear();
+  for (DirShard& shard : dir_) {
+    shard.Reset();
+  }
 }
 
 }  // namespace dprof

@@ -6,12 +6,18 @@
 // It supplies everything DProf observes through the PMU: the cache level that
 // served each access, access latency, and (for the simulator-side ground
 // truth used in tests) whether a miss was caused by a remote invalidation.
+//
+// Sharding: every piece of hierarchy state — the L1/L2/L3 associativity sets,
+// the directory, and the striped counters — partitions cleanly by the low
+// bits of the line number (victims of an eviction share their evictor's set,
+// hence its shard). num_shards() reports the partition width; the parallel
+// engine drives one commit worker per shard, and two accesses whose lines
+// fall in different shards may be applied concurrently.
 
 #ifndef DPROF_SRC_SIM_HIERARCHY_H_
 #define DPROF_SRC_SIM_HIERARCHY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/sim/cache.h"
@@ -79,10 +85,17 @@ class CacheHierarchy {
   const HierarchyConfig& config() const { return config_; }
   uint32_t line_size() const { return config_.l1.line_size; }
 
+  // Width of the line-number partition (power of two). Accesses to lines in
+  // different shards touch disjoint state.
+  uint32_t num_shards() const { return shard_mask_ + 1; }
+  uint32_t ShardOf(Addr addr) const {
+    return static_cast<uint32_t>((addr / config_.l1.line_size) & shard_mask_);
+  }
+
   // Introspection for tests and profilers.
   bool InPrivateCache(int core, Addr addr) const;
   ServedBy ProbeLevel(int core, Addr addr) const;  // level a read would hit now
-  const CoreMemStats& core_stats(int core) const { return core_stats_[core]; }
+  const CoreMemStats& core_stats(int core) const;
   const Cache& l1(int core) const { return l1_[core]; }
   const Cache& l2(int core) const { return l2_[core]; }
   const Cache& l3() const { return l3_; }
@@ -93,14 +106,48 @@ class CacheHierarchy {
  private:
   struct DirEntry {
     uint32_t sharers = 0;           // cores whose private caches may hold the line
-    int8_t modified_owner = -1;     // core with a dirty copy, or -1
     uint32_t invalidated_from = 0;  // cores that lost the line to a remote write
+    int8_t modified_owner = -1;     // core with a dirty copy, or -1
   };
+
+  // One open-addressing hash shard of the directory. Entries are never
+  // erased (only FlushAll clears), so lookups need no tombstone handling.
+  class DirShard {
+   public:
+    DirShard() { Reset(); }
+
+    DirEntry* Find(uint64_t line);
+    const DirEntry* Find(uint64_t line) const;
+    DirEntry& GetOrCreate(uint64_t line);
+    void Reset();
+
+   private:
+    struct Slot {
+      uint64_t line;
+      DirEntry entry;
+    };
+    static constexpr uint64_t kEmpty = ~0ull;
+
+    void Grow();
+
+    std::vector<Slot> slots_;
+    uint64_t mask_ = 0;
+    uint64_t used_ = 0;
+  };
+
+  DirShard& ShardFor(uint64_t line) { return dir_[line & shard_mask_]; }
+  const DirShard& ShardFor(uint64_t line) const { return dir_[line & shard_mask_]; }
 
   // Serves a single line access; returns its level and whether the private
   // miss was caused by an earlier remote invalidation.
   void AccessLine(int core, uint64_t line, bool is_write, uint64_t now, ServedBy* level,
                   bool* invalidation);
+
+  // Grants `core` exclusive-modified ownership of a line it already holds
+  // in its private caches. Slots are the line's L1/L2 slots when the caller
+  // knows them (-1 falls back to a by-line scan for L2, no-op for L1).
+  void WriteUpgrade(int core, uint64_t line, DirEntry& entry, int64_t l1_slot,
+                    int64_t l2_slot);
 
   // Removes `line` from core `c`'s private caches, updating the directory.
   void InvalidateFrom(int c, uint64_t line, DirEntry* entry);
@@ -108,12 +155,18 @@ class CacheHierarchy {
   // Handles a victim evicted from one of core `c`'s private caches.
   void HandlePrivateEviction(int c, uint64_t victim, uint64_t now);
 
+  CoreMemStats& StatsFor(int core, uint64_t line) {
+    return core_stats_[static_cast<uint64_t>(core) * (shard_mask_ + 1) + (line & shard_mask_)];
+  }
+
   HierarchyConfig config_;
+  uint32_t shard_mask_ = 0;  // num_shards-1
   std::vector<Cache> l1_;
   std::vector<Cache> l2_;
   Cache l3_;
-  std::unordered_map<uint64_t, DirEntry> dir_;
-  std::vector<CoreMemStats> core_stats_;
+  std::vector<DirShard> dir_;
+  std::vector<CoreMemStats> core_stats_;  // striped: [core * num_shards + shard]
+  mutable std::vector<CoreMemStats> agg_core_stats_;  // cache for core_stats()
 };
 
 }  // namespace dprof

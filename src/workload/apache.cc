@@ -114,13 +114,14 @@ class ApacheWorkload::CoreDriver final : public dprof::CoreDriver {
 
     // accept(): walk the tcp_sock's hot fields. If the socket sat in the
     // queue for long, its lines have been evicted and every read goes to
-    // L3/DRAM — this latency is the paper's 50-vs-150-cycle signal.
-    uint32_t latency_total = 0;
+    // L3/DRAM — this latency is the paper's 50-vs-150-cycle signal. The
+    // probe accumulates committed latencies, so the stat is exact in both
+    // the direct and the engine execution modes.
+    ctx.BeginLatencyProbe();
     for (uint32_t off = 0; off < 512; off += 64) {
-      const AccessResult r = ctx.Access(f.inet_csk_accept, conn.sock + off, 64, (off % 256) == 0);
-      latency_total += r.latency;
+      ctx.Access(f.inet_csk_accept, conn.sock + off, 64, (off % 256) == 0);
     }
-    sock_latency_stat_.Add(static_cast<double>(latency_total) / (512.0 / 64.0));
+    ctx.EndLatencyProbe(&sock_latency_stat_, 512.0 / 64.0);
     ctx.Compute(f.inet_csk_accept, 200);
 
     // Hand off to a worker thread: futex wake + scheduling. The futex hash

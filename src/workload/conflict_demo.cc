@@ -4,20 +4,22 @@ namespace dprof {
 
 class ConflictDemoWorkload::CoreDriver final : public dprof::CoreDriver {
  public:
+  // Setup happens eagerly at install time: RegisterStatic touches the
+  // allocator's shared metadata arena, which must not run from a driver
+  // stepping in the engine's parallel phase.
   CoreDriver(KernelEnv* env, const ConflictDemoConfig* config, TypeId hot_type, int core)
-      : env_(env), config_(config), hot_type_(hot_type), core_(core) {}
+      : env_(env), config_(config), hot_type_(hot_type), core_(core) {
+    fn_ = env_->machine().symbols().Intern("conflict_scan");
+    SetUp();
+  }
 
   bool Step(CoreContext& ctx) override {
-    if (objects_.empty()) {
-      SetUp(ctx);
-    }
-    const FunctionId fn = env_->machine().symbols().Intern("conflict_scan");
     // Cycle through the aliased objects; with more objects than cache ways
     // mapping to one set, every pass evicts the next victim.
     for (const Addr obj : objects_) {
-      ctx.Read(fn, obj, config_->object_bytes);
+      ctx.Read(fn_, obj, config_->object_bytes);
     }
-    ctx.Compute(fn, 100);
+    ctx.Compute(fn_, 100);
     ++requests;
     return true;
   }
@@ -25,7 +27,7 @@ class ConflictDemoWorkload::CoreDriver final : public dprof::CoreDriver {
   uint64_t requests = 0;
 
  private:
-  void SetUp(CoreContext& ctx) {
+  void SetUp() {
     // Alias in the L2 (covers L1 as well, since L1 sets divide L2 sets).
     const CacheGeometry& l2 = env_->machine().hierarchy().config().l2;
     uint32_t stride = config_->stride;
@@ -45,13 +47,13 @@ class ConflictDemoWorkload::CoreDriver final : public dprof::CoreDriver {
     for (int i = 0; i < config_->hot_objects; ++i) {
       objects_.push_back(base + static_cast<uint64_t>(i) * stride);
     }
-    (void)ctx;
   }
 
   KernelEnv* env_;
   const ConflictDemoConfig* config_;
   TypeId hot_type_;
   int core_;
+  FunctionId fn_ = kInvalidFunction;
   std::vector<Addr> objects_;
 };
 

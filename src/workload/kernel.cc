@@ -1,5 +1,7 @@
 #include "src/workload/kernel.h"
 
+#include <algorithm>
+
 namespace dprof {
 
 KernelTypes KernelTypes::Register(TypeRegistry& registry) {
@@ -70,10 +72,38 @@ KernelFns KernelFns::Intern(SymbolTable& sym) {
   return f;
 }
 
-TxQueue::TxQueue(SlabAllocator& allocator, KernelTypes types, int index)
+TxQueue::TxQueue(SlabAllocator& allocator, KernelTypes types, int index, int num_cores)
     : base_(allocator.RegisterStatic(types.qdisc, 256)),
-      lock_("Qdisc lock", base_ + 8) {
+      lock_("Qdisc lock", base_ + 8),
+      staged_(static_cast<size_t>(num_cores)) {
   (void)index;
+}
+
+void TxQueue::Push(CoreContext& ctx, Packet packet) {
+  if (ctx.recording()) {
+    staged_[ctx.core()].push_back(StagedPacket{packet, ctx.now(), ctx.core()});
+    return;
+  }
+  fifo_.push_back(packet);
+}
+
+void TxQueue::FlushStaged() {
+  merge_scratch_.clear();
+  for (std::vector<StagedPacket>& lane : staged_) {
+    merge_scratch_.insert(merge_scratch_.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  if (merge_scratch_.empty()) {
+    return;
+  }
+  // Stable: same-core packets keep their program order.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const StagedPacket& a, const StagedPacket& b) {
+                     return a.t != b.t ? a.t < b.t : a.core < b.core;
+                   });
+  for (const StagedPacket& staged : merge_scratch_) {
+    fifo_.push_back(staged.packet);
+  }
 }
 
 Packet TxQueue::PopLocked() {
@@ -103,7 +133,7 @@ KernelEnv::KernelEnv(Machine* machine, SlabAllocator* allocator)
   tx_queues_.reserve(cores);
   epolls_.reserve(cores);
   for (int c = 0; c < cores; ++c) {
-    tx_queues_.push_back(std::make_unique<TxQueue>(*allocator_, types_, c));
+    tx_queues_.push_back(std::make_unique<TxQueue>(*allocator_, types_, c, cores));
     epolls_.push_back(std::make_unique<EpollInstance>(*allocator_, types_, c));
     futex_objs_.push_back(allocator_->RegisterStatic(types_.futex, 64));
     user_buffers_.push_back(AllocUserRegion(2048));
@@ -115,6 +145,16 @@ KernelEnv::KernelEnv(Machine* machine, SlabAllocator* allocator)
   for (int b = 0; b < 8; ++b) {
     const Addr word = allocator_->RegisterStatic(types_.futex, 64);
     futex_buckets_.push_back(std::make_unique<SimLock>("futex lock", word));
+  }
+  machine_->AddEpochHook(this);
+}
+
+KernelEnv::~KernelEnv() { machine_->RemoveEpochHook(this); }
+
+void KernelEnv::OnEpochCommit(uint64_t now) {
+  (void)now;
+  for (auto& queue : tx_queues_) {
+    queue->FlushStaged();
   }
 }
 

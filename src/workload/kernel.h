@@ -70,22 +70,39 @@ struct Packet {
 // A pfifo_fast transmit queue bound to one hardware queue / core. The qdisc
 // structure (with its embedded lock word) lives in simulated memory of type
 // "Qdisc"; the lock class name matches the paper's lock-stat output.
+//
+// Only the owning core pops. Remote cores push: directly in direct mode, or
+// into a per-sender staging lane in engine mode — staged packets are merged
+// into the fifo in deterministic (enqueue-time, core) order at the epoch
+// boundary (KernelEnv's epoch hook), so the queue contents never depend on
+// host thread scheduling.
 class TxQueue {
  public:
-  TxQueue(SlabAllocator& allocator, KernelTypes types, int index);
+  TxQueue(SlabAllocator& allocator, KernelTypes types, int index, int num_cores);
 
   Addr base() const { return base_; }
   SimLock& lock() { return lock_; }
   bool empty() const { return fifo_.empty(); }
   size_t depth() const { return fifo_.size(); }
 
-  void PushLocked(Packet packet) { fifo_.push_back(packet); }
+  void Push(CoreContext& ctx, Packet packet);
   Packet PopLocked();
 
+  // Merges staged pushes into the fifo; engine commit thread only.
+  void FlushStaged();
+
  private:
+  struct StagedPacket {
+    Packet packet;
+    uint64_t t = 0;
+    int core = 0;
+  };
+
   Addr base_ = kNullAddr;
   SimLock lock_;
   std::deque<Packet> fifo_;
+  std::vector<std::vector<StagedPacket>> staged_;  // per sender core
+  std::vector<StagedPacket> merge_scratch_;
 };
 
 // Shared network device state: the hot 128-byte net_device window whose
@@ -113,10 +130,15 @@ struct EpollInstance {
   std::unique_ptr<SimLock> waitqueue_lock;
 };
 
-// Everything the two case-study workloads share.
-class KernelEnv {
+// Everything the two case-study workloads share. Registers itself as an
+// epoch hook so transmit-queue mailboxes flush at engine epoch boundaries.
+class KernelEnv final : public EpochHook {
  public:
   KernelEnv(Machine* machine, SlabAllocator* allocator);
+  ~KernelEnv() override;
+
+  // EpochHook:
+  void OnEpochCommit(uint64_t now) override;
 
   Machine& machine() { return *machine_; }
   SlabAllocator& allocator() { return *allocator_; }

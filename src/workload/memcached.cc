@@ -242,7 +242,7 @@ class MemcachedWorkload::CoreDriver final : public dprof::CoreDriver {
     pkt.enqueue_time = ctx.now();
     ctx.LockAcquire(q.lock(), f.dev_queue_xmit);
     ctx.Write(f.pfifo_fast_enqueue, q.base() + 16, 16);
-    q.PushLocked(pkt);
+    q.Push(ctx, pkt);
     ctx.LockRelease(q.lock(), f.dev_queue_xmit);
 
     // Done with the request packet.
