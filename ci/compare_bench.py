@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Compares two `dprof bench micro_costs --json` documents.
+"""Compares two `dprof bench ... --json` documents (micro_costs, parallel_engine).
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
+                        [--only name1,name2]
 
 Fails (exit 1) when any host-cost metric (unit ns/op or s) regresses by more
-than the threshold relative to the baseline. Simulated-cost-model constants
-(unit "cycles") are reported but never fail the build: changing the model is
-a reviewed decision, not a perf regression.
+than the threshold relative to the baseline. With --only, only the listed
+metrics are gate-eligible (the rest are informational) — used for benches
+like parallel_engine where some timings (hardware-thread scaling on shared
+runners) are too noisy to gate on. Simulated-cost-model constants (unit
+"cycles") are reported but never fail the build: changing the model is a
+reviewed decision, not a perf regression.
 """
 
 import argparse
@@ -25,10 +29,24 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated metric names eligible to fail the gate",
+    )
     args = parser.parse_args()
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
+    only = {name for name in args.only.split(",") if name}
+
+    # A gate that never saw its metric must fail loudly, not pass silently
+    # (renamed metric, truncated bench output).
+    missing = [name for name in sorted(only) if name not in cur or name not in base]
+    if missing:
+        print(f"FAIL: gated metric(s) missing from baseline or current: "
+              f"{', '.join(missing)}")
+        return 1
 
     failures = []
     for name, metric in sorted(cur.items()):
@@ -37,6 +55,12 @@ def main():
             continue
         old = base[name]
         unit = metric.get("unit", "")
+        if only and name not in only:
+            print(
+                f"  INFO       {name:40s} {old['value']:10.2f} -> "
+                f"{metric['value']:10.2f} {unit}"
+            )
+            continue
         if unit in ("ns/op", "s") and old["value"] > 0:
             ratio = metric["value"] / old["value"]
             status = "OK"

@@ -12,6 +12,8 @@
 //                      default 0 = hardware concurrency; output is
 //                      bit-identical for every value)
 //   --type NAME        per-type path-trace drill-down (run)
+//   --legacy-loop      run on the legacy sequential loop instead of the
+//                      epoch engine (run; the validation baseline)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -42,6 +44,7 @@ int Usage(FILE* out) {
                "  --json        machine-readable output\n"
                "  --cores N     simulated cores (run; default 16)\n"
                "  --cycles N    phase-1 collection cycles (run)\n"
+               "  --legacy-loop run on the legacy loop, not the engine (run)\n"
                "  --seed N      machine seed (default 1)\n"
                "  --scale X     bench iteration scale (bench; default 1.0)\n");
   return out == stdout ? 0 : 2;
@@ -54,6 +57,7 @@ struct ParsedFlags {
   uint64_t seed = 1;
   double scale = 1.0;
   int threads = 0;
+  bool legacy_loop = false;
   std::string drill_type;
 };
 
@@ -106,7 +110,9 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
                    std::string(allowed).c_str());
       return false;
     }
-    if (arg == "--json") {
+    if (arg == "--legacy-loop") {
+      flags->legacy_loop = true;
+    } else if (arg == "--json") {
       flags->json = true;
     } else if (arg == "--cores") {
       const char* v = next_value("--cores");
@@ -182,7 +188,8 @@ int CmdRun(const std::vector<std::string>& args) {
     return 2;
   }
   ParsedFlags flags;
-  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed", &flags))
+  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed --legacy-loop",
+                  &flags))
     return 2;
 
   ScenarioParams params;
@@ -190,6 +197,7 @@ int CmdRun(const std::vector<std::string>& args) {
   params.seed = flags.seed;
   params.collect_cycles = flags.cycles;
   params.threads = flags.threads;
+  params.use_engine = !flags.legacy_loop;
   params.build_view_json = flags.json;
   params.drill_type = flags.drill_type;
   const ScenarioReport report = RunScenario(registry, name, params);

@@ -159,12 +159,16 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     }
   }
 
-  // All scenario runs execute on the epoch engine; the thread count only
-  // affects wall-clock, never the committed stream or the report.
-  EngineConfig engine_config;
-  engine_config.threads = params.threads;
-  Engine engine(rig->machine.get(), engine_config);
-  rig->machine->SetExecutor(&engine);
+  // Scenario runs execute on the epoch engine unless the caller asked for
+  // the legacy loop baseline; the thread count only affects wall-clock,
+  // never the committed stream or the report.
+  std::unique_ptr<Engine> engine;
+  if (params.use_engine) {
+    EngineConfig engine_config;
+    engine_config.threads = params.threads;
+    engine = std::make_unique<Engine>(rig->machine.get(), engine_config);
+    rig->machine->SetExecutor(engine.get());
+  }
 
   DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
   session.CollectAccessSamples(rig->collect_cycles);
@@ -195,6 +199,15 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   }
 
   ScenarioReport report;
+  if (engine != nullptr) {
+    const EnginePhaseStats& stats = engine->phase_stats();
+    report.used_engine = true;
+    report.engine_simulate_seconds = stats.simulate_seconds;
+    report.engine_apply_seconds = stats.apply_seconds;
+    report.engine_commit_seconds = stats.commit_seconds;
+    report.engine_deliver_seconds = stats.deliver_seconds;
+    report.engine_epochs = stats.epochs;
+  }
   report.drill_type = drill_report_part.drill_type;
   report.drill_type_found = drill_report_part.drill_type_found;
   report.path_trace_text = std::move(drill_report_part.path_trace_text);

@@ -49,6 +49,10 @@ struct ScenarioParams {
   // The committed event stream — and so the whole report — is bit-identical
   // for every value, including 1.
   int threads = 0;
+  // When false, the run executes on the legacy step-the-minimum-clock-core
+  // loop instead of the epoch engine: the baseline the parallel_engine
+  // bench and the engine-validation tests compare against.
+  bool use_engine = true;
   // Whether RunScenario should render the per-view JSON documents into the
   // report; text-only callers skip that work.
   bool build_view_json = true;
@@ -126,6 +130,17 @@ struct ScenarioReport {
   bool drill_type_found = false;
   std::string path_trace_text;    // Table 4.1-style listings
   std::string path_traces_json;   // JSON array of path traces
+
+  // Host-side engine phase timing for the run (zeroed on the legacy loop).
+  // Deliberately excluded from ScenarioReportToJson: wall-clock varies with
+  // the thread count while the report must stay byte-identical; the bench
+  // driver surfaces these through `dprof bench --json` instead.
+  bool used_engine = false;
+  double engine_simulate_seconds = 0.0;
+  double engine_apply_seconds = 0.0;
+  double engine_commit_seconds = 0.0;
+  double engine_deliver_seconds = 0.0;
+  uint64_t engine_epochs = 0;
 };
 
 // Builds the rig, runs both DProf phases, and assembles the report.

@@ -1,6 +1,7 @@
 #include "src/machine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/check.h"
 
@@ -8,17 +9,30 @@ namespace dprof {
 
 namespace {
 
-// Merge keys pack (timestamp << 5) | core, so an unconditional min
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+constexpr int Log2Floor(int v) { return v <= 1 ? 0 : 1 + Log2Floor(v >> 1); }
+
+// Merge keys pack (timestamp << kCoreBits) | core, so an unconditional min
 // reduction picks the smallest timestamp with ties to the lowest core id —
 // the same rule the legacy loop's MinClockCore uses; per-core queues are
 // FIFO, so same-core ops keep program order. The reduction over a fixed
-// 32-slot array compiles to branchless min chains, which beats both a
-// binary heap and a branchy argmin scan at this fan-in. Clocks stay far
+// kMaxCores-slot array compiles to branchless min chains, which beats both
+// a binary heap and a branchy argmin scan at this fan-in. Clocks stay far
 // below 2^59, so the shift never overflows.
+constexpr int kCoreBits = Log2Floor(Engine::kMaxCores);
+constexpr uint64_t kCoreMask = Engine::kMaxCores - 1;
+static_assert(Engine::kMaxCores == 1 << kCoreBits,
+              "core extraction below assumes kMaxCores is a power of two");
+
 constexpr uint64_t kDoneKey = ~0ull;
 
 uint64_t PackKey(uint64_t timestamp, int core) {
-  return (timestamp << 5) | static_cast<uint64_t>(core);
+  return (timestamp << kCoreBits) | static_cast<uint64_t>(core);
 }
 
 // Balanced-tree reduction: log-depth dependency chain, so the four-wide min
@@ -47,11 +61,30 @@ __attribute__((always_inline)) inline uint64_t MinKey(const uint64_t* keys, int 
   return MinKeyTree<32>(keys);
 }
 
+// Assembles the observer/hook-facing event for the access op at one lane
+// record; every emission site must agree on this unpacking.
+inline AccessEvent MakeAccessEvent(int core, const CoreRecorder::Lane& lane,
+                                   FunctionId ip, uint32_t latency, uint64_t now) {
+  AccessEvent event;
+  event.core = core;
+  event.ip = ip;
+  event.addr = lane.addr;
+  event.size = lane.size_w & ~CoreRecorder::kWriteBit;
+  event.is_write = (lane.size_w & CoreRecorder::kWriteBit) != 0;
+  event.level = CoreRecorder::ResultLevel(lane.result);
+  event.latency = latency;
+  event.invalidation = CoreRecorder::ResultInvalidation(lane.result);
+  event.now = now;
+  return event;
+}
+
 }  // namespace
 
 Engine::Engine(Machine* machine, const EngineConfig& config)
     : machine_(machine), config_(config) {
   DPROF_CHECK(config_.epoch_cycles > 0);
+  DPROF_CHECK(config_.apply_quantum_bits >= 0 && config_.apply_quantum_bits < 32);
+  DPROF_CHECK(machine_->num_cores() <= kMaxCores);
   threads_ = config_.threads > 0 ? config_.threads
                                  : static_cast<int>(std::thread::hardware_concurrency());
   if (threads_ < 1) {
@@ -60,7 +93,6 @@ Engine::Engine(Machine* machine, const EngineConfig& config)
   num_shards_ = machine_->hierarchy().num_shards();
   const int cores = machine_->num_cores();
   recorders_.resize(cores);
-  lock_wait_.assign(cores, 0);
   blocked_on_.assign(cores, nullptr);
   block_start_.assign(cores, 0);
   probe_latency_.assign(cores, 0);
@@ -72,6 +104,11 @@ Engine::Engine(Machine* machine, const EngineConfig& config)
   for (int i = 0; i < spawn; ++i) {
     workers_.emplace_back(&Engine::WorkerLoop, this);
   }
+  // With workers, the apply phase runs one worker per hierarchy shard over
+  // recorded shard lists; without them, a single fused merge over the
+  // per-core streams applies the same per-shard suborders — identical
+  // hierarchy results — without the shard indirection.
+  shard_apply_ = !workers_.empty() && num_shards_ > 1;
 }
 
 Engine::~Engine() {
@@ -82,6 +119,14 @@ Engine::~Engine() {
   work_cv_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
+  }
+  if (deliver_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(deliver_mu_);
+      deliver_shutdown_ = true;
+    }
+    deliver_cv_.notify_all();
+    deliver_thread_.join();
   }
 }
 
@@ -163,6 +208,9 @@ void Engine::RunFor(uint64_t cycles) {
     }
     RunEpoch(std::min(deadline, min_clock + config_.epoch_cycles));
   }
+  // Settle in-flight observer delivery before the caller can read observer
+  // state: RunFor's boundary is the only synchronization point callers see.
+  WaitDeliveryIdle();
 }
 
 void Engine::RunEpoch(uint64_t epoch_end) {
@@ -182,11 +230,18 @@ void Engine::RunEpoch(uint64_t epoch_end) {
       rec.cost_scale16 =
           static_cast<uint32_t>((3ull * rec.cost_scale16 + scale16) / 4);
     }
-    rec.Reset(m.clocks_[c], num_shards_);
+    rec.Reset(m.clocks_[c], shard_apply_ ? num_shards_ : 0);
   }
+  const auto t0 = Clock::now();
   ParallelFor(cores, [&](int core) { SimulateCore(core, epoch_end); });
-  ParallelFor(static_cast<int>(num_shards_),
-              [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
+  const auto t1 = Clock::now();
+  if (shard_apply_) {
+    ParallelFor(static_cast<int>(num_shards_),
+                [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
+  } else {
+    ApplyGlobal();
+  }
+  const auto t2 = Clock::now();
   CommitEpoch();
   if (m.allocator_ != nullptr) {
     m.allocator_->FlushEpoch();
@@ -194,6 +249,15 @@ void Engine::RunEpoch(uint64_t epoch_end) {
   for (EpochHook* hook : m.epoch_hooks_) {
     hook->OnEpochCommit(m.MaxClock());
   }
+  // Hand off after the epoch hooks so the delivery thread only ever
+  // overlaps the next epoch's simulate phase — allocator flushes and epoch
+  // hooks run with observers settled.
+  HandOffOrDeliver();
+  const auto t3 = Clock::now();
+  phase_stats_.simulate_seconds += Seconds(t0, t1);
+  phase_stats_.apply_seconds += Seconds(t1, t2);
+  phase_stats_.commit_seconds += Seconds(t2, t3);
+  ++phase_stats_.epochs;
   ++epochs_run_;
 }
 
@@ -205,19 +269,22 @@ void Engine::SimulateCore(int core, uint64_t epoch_end) {
   while (rec.lb < epoch_end) {
     const bool did_work = driver != nullptr && driver->Step(ctx);
     if (!did_work) {
-      SimOp op;
-      op.kind = SimOp::kIdle;
-      op.t = rec.lb;
-      op.aux = m.config_.idle_cycles;
-      rec.Push(op);
+      if (!rec.CoalesceCycles(SimOp::kIdle, kInvalidFunction, m.config_.idle_cycles)) {
+        rec.PushCycles(SimOp::kIdle, rec.lb, m.config_.idle_cycles, kInvalidFunction);
+      }
       rec.ChargeExact(m.config_.idle_cycles);
     }
   }
 }
 
+// Both apply passes merge in (t >> apply_quantum_bits, core, program order):
+// see EngineConfig::apply_quantum_bits. The quantized key also makes
+// same-core runs long (a core's whole quantum drains before the merge
+// switches), so the min-tree recomputes once per run, not per op.
 void Engine::ApplyShard(uint32_t shard) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
+  const int qbits = config_.apply_quantum_bits;
   uint64_t keys[kMaxCores];
   size_t cursor[kMaxCores] = {0};
   int remaining = 0;
@@ -227,184 +294,544 @@ void Engine::ApplyShard(uint32_t shard) {
   for (int c = 0; c < cores; ++c) {
     const auto& list = recorders_[c].shard_ops[shard];
     if (!list.empty()) {
-      keys[c] = PackKey(recorders_[c].ops[list[0]].t, c);
+      keys[c] = PackKey(recorders_[c].lane[list[0]].t >> qbits, c);
       ++remaining;
     }
   }
   while (remaining > 0) {
-    const int core = static_cast<int>(MinKey(keys, cores) & 31u);
+    const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
     CoreRecorder& rec = recorders_[core];
     const auto& list = rec.shard_ops[shard];
-    SimOp& op = rec.ops[list[cursor[core]]];
-    const AccessResult r = m.hierarchy_.Access(core, op.addr, op.size, op.is_write, op.t);
-    op.aux = SimOp::PackResult(r.latency, r.level, r.invalidation);
-    if (++cursor[core] < list.size()) {
-      keys[core] = PackKey(rec.ops[list[cursor[core]]].t, core);
-    } else {
-      keys[core] = kDoneKey;
+    keys[core] = kDoneKey;
+    const uint64_t limit = MinKey(keys, cores);
+    uint64_t key;
+    do {
+      CoreRecorder::Lane& lane = rec.lane[list[cursor[core]]];
+      const AccessResult r =
+          m.hierarchy_.Access(core, lane.addr, lane.size_w & ~CoreRecorder::kWriteBit,
+                              (lane.size_w & CoreRecorder::kWriteBit) != 0, lane.t);
+      lane.result = CoreRecorder::PackResult(r.latency, r.level, r.invalidation);
+      key = ++cursor[core] < list.size()
+                ? PackKey(rec.lane[list[cursor[core]]].t >> qbits, core)
+                : kDoneKey;
+    } while (key < limit);
+    keys[core] = key;
+    if (key == kDoneKey) {
       --remaining;
     }
   }
 }
 
-void Engine::CommitEpoch() {
+// Single-thread apply: one fused merge over all per-core streams. Hierarchy
+// state is disjoint across shards, and this global order restricts to
+// exactly the per-shard suborder on every shard, so the results are
+// bit-identical to the shard-parallel pass — without recording shard lists
+// or making one merge pass per shard over near-empty lists.
+void Engine::ApplyGlobal() {
   Machine& m = *machine_;
   const int cores = m.num_cores();
-  size_t cursor[kMaxCores] = {0};
-  // Commit order is the legacy scheduling rule at op granularity: always
-  // the core with the smallest *committed* clock (ties to the lowest id).
-  // Ordering by recorded lb timestamps instead would let a core whose true
-  // clock raced ahead (PMU interrupts, miss latencies) release locks far in
-  // the future and drag every later acquirer's clock up with it — phantom
-  // waits that collapse throughput. Keys refresh after every op since the
-  // op itself moves the core's clock.
+  const int qbits = config_.apply_quantum_bits;
   uint64_t keys[kMaxCores];
+  uint32_t cursor[kMaxCores] = {0};
   int remaining = 0;
   for (int c = 0; c < kMaxCores; ++c) {
     keys[c] = kDoneKey;
   }
+  // Advances to the next access op at or after `from`; other op kinds do
+  // not touch the hierarchy.
+  auto next_access = [](const CoreRecorder& rec, uint32_t from) {
+    const uint32_t count = static_cast<uint32_t>(rec.size());
+    while (from < count &&
+           (rec.meta[from].kind & CoreRecorder::kKindMask) != SimOp::kAccess) {
+      ++from;
+    }
+    return from;
+  };
   for (int c = 0; c < cores; ++c) {
-    if (!recorders_[c].ops.empty()) {
-      keys[c] = PackKey(m.clocks_[c], c);
+    const CoreRecorder& rec = recorders_[c];
+    cursor[c] = next_access(rec, 0);
+    if (cursor[c] < rec.size()) {
+      keys[c] = PackKey(rec.lane[cursor[c]].t >> qbits, c);
       ++remaining;
     }
   }
   while (remaining > 0) {
-    const uint64_t min_key = MinKey(keys, cores);
+    const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
+    CoreRecorder& rec = recorders_[core];
+    const uint32_t count = static_cast<uint32_t>(rec.size());
+    keys[core] = kDoneKey;
+    const uint64_t limit = MinKey(keys, cores);
+    uint64_t key;
+    do {
+      CoreRecorder::Lane& lane = rec.lane[cursor[core]];
+      const AccessResult r =
+          m.hierarchy_.Access(core, lane.addr, lane.size_w & ~CoreRecorder::kWriteBit,
+                              (lane.size_w & CoreRecorder::kWriteBit) != 0, lane.t);
+      lane.result = CoreRecorder::PackResult(r.latency, r.level, r.invalidation);
+      cursor[core] = next_access(rec, cursor[core] + 1);
+      key = cursor[core] < count ? PackKey(rec.lane[cursor[core]].t >> qbits, core)
+                                 : kDoneKey;
+    } while (key < limit);
+    keys[core] = key;
+    if (key == kDoneKey) {
+      --remaining;
+    }
+  }
+}
+
+void Engine::ResyncSink() {
+  Machine& m = *machine_;
+  sink_.counting.clear();
+  sink_.filtered.clear();
+  sink_.want_events = !m.observers_.empty();
+  for (PmuHook* hook : m.pmu_hooks_) {
+    Addr lo = 0;
+    Addr hi = 0;
+    if (hook->AccessFilter(&lo, &hi)) {
+      sink_.filtered.push_back(FusedSink::Filtered{hook, lo, hi});
+    } else {
+      sink_.counting.push_back(hook);
+    }
+  }
+}
+
+void Engine::RefreshQuiet(int core) {
+  uint64_t quiet = PmuHook::kQuietUnbounded;
+  for (PmuHook* hook : sink_.counting) {
+    quiet = std::min(quiet, hook->QuietOps(core));
+  }
+  gate_quiet_[core] = quiet;
+  gate_unbounded_[core] = quiet == PmuHook::kQuietUnbounded ? 1 : 0;
+}
+
+void Engine::FlushQuiet(int core) {
+  if (gate_skipped_[core] == 0) {
+    return;
+  }
+  for (PmuHook* hook : sink_.counting) {
+    hook->OnQuietAccessBatch(core, gate_skipped_[core]);
+  }
+  gate_skipped_[core] = 0;
+}
+
+// Commit order is the legacy scheduling rule: always the core with the
+// smallest *committed* clock (ties to the lowest id). Ordering by recorded
+// lb timestamps instead would let a core whose true clock raced ahead (PMU
+// interrupts, miss latencies) release locks far in the future and drag
+// every later acquirer's clock up with it — phantom waits that collapse
+// throughput.
+//
+// The schedule is segmented: the only ops whose commit another core can
+// observe are sync ops (locks, allocator events) and PMU dispatches (IBS
+// samples, watchpoint hits) — everything else advances purely core-local
+// state. Those ops arbitrate one at a time under the min-clock rule, and
+// since each commits exactly when its core's pre-op clock is the global
+// minimum, their cross-core order — lock arbitration, allocation-event
+// order, sample and hit delivery into shared handlers — is identical to
+// the fully sequential per-op merge. The segments between them commit as
+// whole per-core batches: clock trajectories are unaffected, and only the
+// interleaving of *observer* spans across cores differs (deterministically)
+// from the per-op merge.
+void Engine::CommitEpoch() {
+  Machine& m = *machine_;
+  const int cores = m.num_cores();
+  ResyncSink();
+  woke_parked_ = false;
+  int remaining = 0;
+  for (int c = 0; c < kMaxCores; ++c) {
+    commit_keys_[c] = kDoneKey;
+  }
+  for (int c = 0; c < cores; ++c) {
+    commit_cursor_[c] = 0;
+    commit_sync_i_[c] = 0;
+    gate_skipped_[c] = 0;
+    RefreshQuiet(c);
+    if (!recorders_[c].empty()) {
+      commit_keys_[c] = PackKey(m.clocks_[c], c);
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    const uint64_t min_key = MinKey(commit_keys_, cores);
     // All live queues parked on locks with no pending release would mean a
     // critical section spanning a driver step, which drivers must not do.
     DPROF_CHECK(min_key != kDoneKey);
-    const int core = static_cast<int>(min_key & 31u);
+    const int core = static_cast<int>(min_key & kCoreMask);
     CoreRecorder& rec = recorders_[core];
-    const SimOp& op = rec.ops[cursor[core]];
-    uint64_t& clock = m.clocks_[core];
+    const uint32_t count = static_cast<uint32_t>(rec.size());
+    uint32_t cursor = commit_cursor_[core];
+    // Run-until-limit: keys only grow as cores commit (clocks are
+    // nondecreasing), so this core keeps the floor — and commits turn after
+    // turn without touching the merge tree — until its key reaches the
+    // smallest other key. The one event that can lower another key, a lock
+    // release waking parked cores, forces a full re-arbitration.
+    commit_keys_[core] = kDoneKey;
+    const uint64_t limit = MinKey(commit_keys_, cores);
+    uint64_t key = kDoneKey;
+    while (true) {
+      const uint32_t next_sync = commit_sync_i_[core] < rec.sync_points.size()
+                                     ? rec.sync_points[commit_sync_i_[core]]
+                                     : count;
+      bool woke = false;
+      if (cursor == next_sync) {
+        const uint8_t sync_kind = rec.meta[cursor].kind & CoreRecorder::kKindMask;
+        if (!CommitSyncOp(core, cursor)) {
+          key = kDoneKey;  // parked; the release re-arms the key
+          break;
+        }
+        ++cursor;
+        ++commit_sync_i_[core];
+        // Allocation events drive watchpoint arming through their
+        // observers, changing the filter windows; lock ops cannot rearm
+        // anything. The counting hooks' quiet budgets stay valid:
+        // (dis)arming only moves a hook between the filtered and
+        // unbounded-quiet classes.
+        if (sync_kind >= SimOp::kAllocEvent) {
+          ResyncSink();
+        } else {
+          woke = sync_kind == SimOp::kLockRelease && woke_parked_;
+          woke_parked_ = false;
+        }
+      } else {
+        // Commits the segment up to the next sync op, stopping at (and
+        // re-arbitrating before) any access a PMU hook can act on — unless
+        // that access is the op just arbitrated, which dispatches now.
+        cursor = CommitRun(core, cursor, next_sync);
+      }
+      if (cursor >= count) {
+        key = kDoneKey;
+        --remaining;
+        break;
+      }
+      key = PackKey(m.clocks_[core], core);
+      if (woke || key >= limit) {
+        break;
+      }
+    }
+    commit_cursor_[core] = cursor;
+    commit_keys_[core] = key;
+  }
+  for (int c = 0; c < cores; ++c) {
+    FlushQuiet(c);
+  }
+}
 
-    switch (op.kind) {
-      case SimOp::kAccess: {
-        const uint32_t latency = op.ResultLatency();
-        clock += m.config_.base_op_cost + latency;
-        if (probe_active_[core] != 0) {
-          probe_latency_[core] += latency;
+uint32_t Engine::CommitRun(int core, uint32_t begin, uint32_t end) {
+  Machine& m = *machine_;
+  CoreRecorder& rec = recorders_[core];
+  // Hot state lives in locals: routing every op's clock/gate/probe update
+  // through the member arrays would make each store a potential alias of
+  // the lane/meta columns and force reloads. The committed clock syncs
+  // with m.clocks_ around DispatchAccess (whose hook handlers may read
+  // machine clocks) and at return.
+  const CoreRecorder::Lane* const lanes = rec.lane;
+  const CoreRecorder::Meta* const metas = rec.meta;
+  uint64_t clock = m.clocks_[core];
+  uint64_t probe_lat = probe_latency_[core];
+  uint8_t probing = probe_active_[core];
+  const uint64_t base_cost = m.config_.base_op_cost;
+  const bool want_events = sink_.want_events;
+  uint32_t i = begin;
+  // Passthrough: no hook can act on any access in this segment (counting
+  // hooks unbounded-quiet, no armed filters) and no observer wants events —
+  // the loop reduces to clock reconstruction. Hooks with an unbounded
+  // guarantee need no skip accounting, so the gate is bypassed entirely.
+  if (gate_unbounded_[core] != 0 && sink_.filtered.empty() && !want_events) {
+    for (; i < end; ++i) {
+      const uint8_t k = metas[i].kind & CoreRecorder::kKindMask;
+      if (k == SimOp::kAccess) {
+        const uint32_t latency = CoreRecorder::ResultLatency(lanes[i].result);
+        clock += base_cost + latency;
+        if (probing != 0) {
+          probe_lat += latency;
         }
-        AccessEvent event;
-        event.core = core;
-        event.ip = op.ip;
-        event.addr = op.addr;
-        event.size = op.size;
-        event.is_write = op.is_write;
-        event.level = op.ResultLevel();
-        event.latency = latency;
-        event.invalidation = op.ResultInvalidation();
-        event.now = clock;
-        for (MachineObserver* obs : m.observers_) {
-          obs->OnAccess(event);
-        }
-        for (PmuHook* hook : m.pmu_hooks_) {
-          const uint64_t extra = hook->OnAccess(event);
-          if (extra != 0) {
-            clock += extra;
-          }
-        }
-        break;
-      }
-      case SimOp::kCompute: {
-        clock += op.aux;
-        for (MachineObserver* obs : m.observers_) {
-          obs->OnCompute(core, op.ip, op.aux, clock);
-        }
-        break;
-      }
-      case SimOp::kIdle: {
-        clock += op.aux;
-        break;
-      }
-      case SimOp::kLockAcquire: {
-        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
-        if (lock->holder_ >= 0 && lock->holder_ != core) {
-          // The holder's release is still pending in this commit: park this
-          // core (its queue stops merging) until that release wakes it.
-          // Without parking, the nondecreasing commit-clock order would make
-          // every same-epoch wait zero and let critical sections overlap.
-          if (blocked_on_[core] == nullptr) {
-            blocked_on_[core] = lock;
-            block_start_[core] = clock;
-          }
-          keys[core] = kDoneKey;
-          continue;  // op not consumed; retried after the wake-up
-        }
-        uint64_t wait = 0;
-        if (blocked_on_[core] != nullptr) {
-          blocked_on_[core] = nullptr;
-          wait = clock > block_start_[core] ? clock - block_start_[core] : 0;
-        }
-        if (lock->free_at_ > clock) {
-          wait += lock->free_at_ - clock;
-          clock = lock->free_at_;
-        }
-        lock_wait_[core] = wait;
-        lock->holder_ = core;  // claimed now; acquired_at_ stamps at Done
-        break;
-      }
-      case SimOp::kLockAcquireDone: {
-        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
-        lock->holder_ = core;
-        lock->acquired_at_ = clock;
-        if (m.lock_observer_ != nullptr) {
-          m.lock_observer_->OnAcquire(*lock, core, op.ip, lock_wait_[core], clock);
-        }
-        break;
-      }
-      case SimOp::kLockRelease: {
-        SimLock* lock = reinterpret_cast<SimLock*>(op.addr);
-        const uint64_t hold = clock - lock->acquired_at_;
-        lock->free_at_ = clock;
-        lock->holder_ = -1;
-        if (m.lock_observer_ != nullptr) {
-          m.lock_observer_->OnRelease(*lock, core, op.ip, hold, clock);
-        }
-        // Wake cores parked on this lock: they waited until this release,
-        // then re-arbitrate by the usual min-clock rule.
-        for (int c = 0; c < cores; ++c) {
-          if (blocked_on_[c] == lock) {
-            if (clock > m.clocks_[c]) {
-              m.clocks_[c] = clock;
-            }
-            keys[c] = PackKey(m.clocks_[c], c);
-          }
-        }
-        break;
-      }
-      case SimOp::kAllocEvent: {
-        m.allocator_->CommitAllocEvent(static_cast<TypeId>(op.aux >> 32), op.addr,
-                                       static_cast<uint32_t>(op.aux), core, clock);
-        break;
-      }
-      case SimOp::kFreeEvent: {
-        m.allocator_->CommitFreeEvent(static_cast<TypeId>(op.aux >> 32), op.addr,
-                                      static_cast<uint32_t>(op.aux), core, clock, op.flag);
-        break;
-      }
-      case SimOp::kProbeBegin: {
-        probe_active_[core] = 1;
-        probe_latency_[core] = 0;
-        break;
-      }
-      case SimOp::kProbeEnd: {
-        probe_active_[core] = 0;
+      } else if (k == SimOp::kCompute || k == SimOp::kIdle) {
+        clock += lanes[i].payload();
+      } else if (k == SimOp::kProbeBegin) {
+        probing = 1;
+        probe_lat = 0;
+      } else {
+        DPROF_DCHECK(k == SimOp::kProbeEnd);
+        probing = 0;
         double divisor = 1.0;
-        __builtin_memcpy(&divisor, &op.aux, sizeof(double));
-        reinterpret_cast<RunningStat*>(op.addr)->Add(
-            static_cast<double>(probe_latency_[core]) / divisor);
-        break;
+        const uint64_t bits = lanes[i].payload();
+        __builtin_memcpy(&divisor, &bits, sizeof(double));
+        reinterpret_cast<RunningStat*>(lanes[i].addr)
+            ->Add(static_cast<double>(probe_lat) / divisor);
       }
     }
-
-    if (++cursor[core] < rec.ops.size()) {
-      keys[core] = PackKey(clock, core);
+    m.clocks_[core] = clock;
+    probe_latency_[core] = probe_lat;
+    probe_active_[core] = probing;
+    return end;
+  }
+  uint64_t quiet = gate_quiet_[core];
+  uint64_t skipped = gate_skipped_[core];
+  for (; i < end; ++i) {
+    const uint8_t k = metas[i].kind & CoreRecorder::kKindMask;
+    if (k == SimOp::kAccess) {
+      const CoreRecorder::Lane& lane = lanes[i];
+      // Gate: can any PMU hook act on this access? Counting hooks are
+      // covered by the quiet budget; filtered hooks by the window check.
+      bool needs_hook = quiet == 0;
+      if (!needs_hook && !sink_.filtered.empty()) {
+        const uint32_t size = lane.size_w & ~CoreRecorder::kWriteBit;
+        for (const FusedSink::Filtered& f : sink_.filtered) {
+          if (lane.addr < f.hi && f.lo < lane.addr + size) {
+            needs_hook = true;
+            break;
+          }
+        }
+      }
+      if (needs_hook) {
+        if (i != begin) {
+          break;  // an arbitration point: hand back to the scheduler
+        }
+        // Sync the member state the dispatch path (hooks, gate flush,
+        // resync) reads and writes, then reload it.
+        m.clocks_[core] = clock;
+        probe_latency_[core] = probe_lat;
+        probe_active_[core] = probing;
+        gate_quiet_[core] = quiet;
+        gate_skipped_[core] = skipped;
+        DispatchAccess(core, i, m.clocks_[core]);
+        clock = m.clocks_[core];
+        probe_lat = probe_latency_[core];
+        probing = probe_active_[core];
+        quiet = gate_quiet_[core];
+        skipped = gate_skipped_[core];
+        continue;
+      }
+      --quiet;
+      ++skipped;
+      const uint32_t latency = CoreRecorder::ResultLatency(lane.result);
+      clock += base_cost + latency;
+      if (probing != 0) {
+        probe_lat += latency;
+      }
+      if (want_events) {
+        EmitAccess(MakeAccessEvent(core, lane, metas[i].ip, latency, clock));
+      }
+    } else if (k == SimOp::kCompute) {
+      const uint64_t cycles = lanes[i].payload();
+      clock += cycles;
+      if (want_events) {
+        EmitCompute(ComputeEvent{core, metas[i].ip, cycles, clock});
+      }
+    } else if (k == SimOp::kIdle) {
+      clock += lanes[i].payload();
+    } else if (k == SimOp::kProbeBegin) {
+      probing = 1;
+      probe_lat = 0;
     } else {
-      keys[core] = kDoneKey;
-      --remaining;
+      DPROF_DCHECK(k == SimOp::kProbeEnd);
+      probing = 0;
+      double divisor = 1.0;
+      const uint64_t bits = lanes[i].payload();
+      __builtin_memcpy(&divisor, &bits, sizeof(double));
+      reinterpret_cast<RunningStat*>(lanes[i].addr)
+          ->Add(static_cast<double>(probe_lat) / divisor);
     }
+  }
+  m.clocks_[core] = clock;
+  probe_latency_[core] = probe_lat;
+  probe_active_[core] = probing;
+  gate_quiet_[core] = quiet;
+  gate_skipped_[core] = skipped;
+  return i;
+}
+
+void Engine::DispatchAccess(int core, uint32_t index, uint64_t& clock) {
+  Machine& m = *machine_;
+  CoreRecorder& rec = recorders_[core];
+  const CoreRecorder::Lane& lane = rec.lane[index];
+  // Counting hooks must be current before their per-op consultation.
+  FlushQuiet(core);
+  const uint32_t latency = CoreRecorder::ResultLatency(lane.result);
+  clock += m.config_.base_op_cost + latency;
+  if (probe_active_[core] != 0) {
+    probe_latency_[core] += latency;
+  }
+  const AccessEvent event =
+      MakeAccessEvent(core, lane, rec.meta[index].ip, latency, clock);
+  if (sink_.want_events) {
+    EmitAccess(event);
+  }
+  for (PmuHook* hook : m.pmu_hooks_) {
+    const uint64_t extra = hook->OnAccess(event);
+    if (extra != 0) {
+      clock += extra;
+    }
+  }
+  // A handler may have (dis)armed a watchpoint or reset a countdown.
+  ResyncSink();
+  RefreshQuiet(core);
+}
+
+bool Engine::CommitSyncOp(int core, uint32_t index) {
+  Machine& m = *machine_;
+  CoreRecorder& rec = recorders_[core];
+  const uint8_t kind = rec.meta[index].kind & CoreRecorder::kKindMask;
+  uint64_t& clock = m.clocks_[core];
+  switch (kind) {
+    case SimOp::kLockAcquire: {
+      SimLock* lock = reinterpret_cast<SimLock*>(rec.lane[index].addr);
+      if (lock->holder_ >= 0 && lock->holder_ != core) {
+        // The holder's release is still pending in this commit: park this
+        // core (its queue stops merging) until that release wakes it.
+        // Without parking, the nondecreasing commit-clock order would make
+        // every same-epoch wait zero and let critical sections overlap.
+        if (blocked_on_[core] == nullptr) {
+          blocked_on_[core] = lock;
+          block_start_[core] = clock;
+        }
+        return false;  // op not consumed; retried after the wake-up
+      }
+      uint64_t wait = 0;
+      if (blocked_on_[core] != nullptr) {
+        blocked_on_[core] = nullptr;
+        wait = clock > block_start_[core] ? clock - block_start_[core] : 0;
+      }
+      if (lock->free_at_ > clock) {
+        wait += lock->free_at_ - clock;
+        clock = lock->free_at_;
+      }
+      lock->holder_ = core;
+      lock->acquired_at_ = clock;
+      if (m.lock_observer_ != nullptr) {
+        m.lock_observer_->OnAcquire(*lock, core, rec.meta[index].ip, wait, clock);
+      }
+      return true;
+    }
+    case SimOp::kLockRelease: {
+      SimLock* lock = reinterpret_cast<SimLock*>(rec.lane[index].addr);
+      const uint64_t hold = clock - lock->acquired_at_;
+      lock->free_at_ = clock;
+      lock->holder_ = -1;
+      if (m.lock_observer_ != nullptr) {
+        m.lock_observer_->OnRelease(*lock, core, rec.meta[index].ip, hold, clock);
+      }
+      // Wake cores parked on this lock: they waited until this release,
+      // then re-arbitrate by the usual min-clock rule.
+      for (int c = 0; c < m.num_cores(); ++c) {
+        if (blocked_on_[c] == lock) {
+          if (clock > m.clocks_[c]) {
+            m.clocks_[c] = clock;
+          }
+          commit_keys_[c] = PackKey(m.clocks_[c], c);
+          woke_parked_ = true;
+        }
+      }
+      return true;
+    }
+    case SimOp::kAllocEvent: {
+      const uint64_t payload = rec.lane[index].payload();
+      m.allocator_->CommitAllocEvent(static_cast<TypeId>(payload >> 32),
+                                     rec.lane[index].addr,
+                                     static_cast<uint32_t>(payload), core, clock);
+      return true;
+    }
+    default: {
+      DPROF_DCHECK(kind == SimOp::kFreeEvent);
+      const uint64_t payload = rec.lane[index].payload();
+      m.allocator_->CommitFreeEvent(static_cast<TypeId>(payload >> 32),
+                                    rec.lane[index].addr,
+                                    static_cast<uint32_t>(payload), core, clock,
+                                    (rec.meta[index].kind & CoreRecorder::kAlienBit) != 0);
+      return true;
+    }
+  }
+}
+
+void Engine::EmitAccess(const AccessEvent& event) {
+  EventBatch& batch = batches_[build_batch_];
+  batch.access.push_back(event);
+  if (!batch.spans.empty() && batch.spans.back().is_compute == 0) {
+    ++batch.spans.back().count;
+  } else {
+    batch.spans.push_back(
+        EventBatch::Span{0, static_cast<uint32_t>(batch.access.size() - 1), 1});
+  }
+}
+
+void Engine::EmitCompute(const ComputeEvent& event) {
+  EventBatch& batch = batches_[build_batch_];
+  batch.compute.push_back(event);
+  if (!batch.spans.empty() && batch.spans.back().is_compute == 1) {
+    ++batch.spans.back().count;
+  } else {
+    batch.spans.push_back(
+        EventBatch::Span{1, static_cast<uint32_t>(batch.compute.size() - 1), 1});
+  }
+}
+
+void Engine::DeliverBatch(const EventBatch& batch) {
+  if (batch.IsEmpty()) {
+    return;
+  }
+  const auto start = Clock::now();
+  Machine& m = *machine_;
+  for (const EventBatch::Span& span : batch.spans) {
+    if (span.is_compute != 0) {
+      for (MachineObserver* obs : m.observers_) {
+        obs->OnComputeBatch(&batch.compute[span.offset], span.count);
+      }
+    } else {
+      for (MachineObserver* obs : m.observers_) {
+        obs->OnAccessBatch(&batch.access[span.offset], span.count);
+      }
+    }
+  }
+  phase_stats_.deliver_seconds += Seconds(start, Clock::now());
+}
+
+// Hands the built batch to the delivery thread so observers consume epoch
+// N's events while epoch N+1 simulates; the simulate phase touches only
+// core-owned state and observers are pure sinks nothing reads before the
+// next RunFor boundary, so the overlap is invisible to the results. With
+// one thread (or nothing to deliver) delivery runs inline.
+void Engine::HandOffOrDeliver() {
+  EventBatch& built = batches_[build_batch_];
+  if (built.IsEmpty()) {
+    return;
+  }
+  if (threads_ <= 1) {
+    DeliverBatch(built);
+    built.Clear();
+    return;
+  }
+  std::unique_lock<std::mutex> lk(deliver_mu_);
+  if (!deliver_thread_.joinable()) {
+    deliver_thread_ = std::thread(&Engine::DeliveryLoop, this);
+  }
+  deliver_cv_.wait(lk, [&] { return !deliver_pending_; });
+  build_batch_ = 1 - build_batch_;
+  deliver_pending_ = true;
+  deliver_cv_.notify_all();
+}
+
+void Engine::WaitDeliveryIdle() {
+  if (!deliver_thread_.joinable()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lk(deliver_mu_);
+  deliver_cv_.wait(lk, [&] { return !deliver_pending_; });
+}
+
+void Engine::DeliveryLoop() {
+  std::unique_lock<std::mutex> lk(deliver_mu_);
+  while (true) {
+    deliver_cv_.wait(lk, [&] { return deliver_shutdown_ || deliver_pending_; });
+    if (!deliver_pending_) {
+      return;  // shutdown with nothing in flight
+    }
+    EventBatch& batch = batches_[1 - build_batch_];
+    lk.unlock();
+    DeliverBatch(batch);
+    lk.lock();
+    batch.Clear();
+    deliver_pending_ = false;
+    deliver_cv_.notify_all();
   }
 }
 

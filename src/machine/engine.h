@@ -9,27 +9,46 @@
 //      recording CoreContext until its lower-bound clock reaches the epoch
 //      end. Drivers, the allocator fast paths, and RNGs touch only
 //      core-owned state; every memory access, compute burst, lock
-//      operation, and allocation event is appended to the core's SimOp
+//      operation, and allocation event is appended to the core's SoA op
 //      queue with its lower-bound timestamp.
 //   2. APPLY (parallel over hierarchy shards): the recorded accesses are
-//      merged per shard in (timestamp, core) order and applied to the cache
+//      merged per shard in (timestamp quantum, core, program order) — see
+//      EngineConfig::apply_quantum_bits — and applied to the cache
 //      hierarchy. All hierarchy state partitions by line number
 //      (CacheHierarchy::num_shards), so shard workers never share state,
 //      and each shard's merge order is a pure function of the recorded
-//      queues. Each op's latency/level/invalidation result is stored back
-//      into the op.
-//   3. COMMIT (sequential): all queues are merged in (timestamp, core)
-//      order one final time to reconstruct exact core clocks: latencies,
-//      PMU interrupt charges, and lock waits accumulate per core, and every
-//      observer, PMU hook, lock observer, and allocation event fires here
-//      with its committed clock — the same stream a sequential commit would
-//      produce. Epoch hooks (mailboxes, allocator alien transfers) run
-//      last.
+//      queues. At one thread the same suborders are produced by a single
+//      fused merge with no shard lists. Each op's latency/level/
+//      invalidation result is stored back into its lane record.
+//   3. COMMIT (sequential): exact core clocks are reconstructed — memory
+//      latencies, PMU interrupt charges, and lock waits accumulate per
+//      core — and every observer, PMU hook, lock observer, and allocation
+//      event fires with its committed clock. Epoch hooks (mailboxes,
+//      allocator alien transfers) run last.
+//
+// The commit pass is *segmented*. The only operations whose commit another
+// core can observe are sync ops (locks, allocator events) and PMU
+// dispatches (IBS samples, watchpoint hits); each of those arbitrates
+// under the global min-committed-clock rule and commits exactly when its
+// core's pre-op clock is the global minimum — the legacy scheduling rule —
+// so lock arbitration, allocation-event order, and sample/hit delivery
+// into shared handlers interleave identically to a fully sequential per-op
+// merge. Everything between those points advances only core-local state
+// and commits as whole per-core segments. Within a segment, PMU hooks are
+// consulted through the batch contract on PmuHook (QuietOps /
+// OnQuietAccessBatch / AccessFilter): an access only pays for event
+// assembly and virtual dispatch when some hook can actually act on it.
+// Observer delivery is span-based (MachineObserver::OnAccessBatch /
+// OnComputeBatch) and, when the engine owns worker threads, overlaps the
+// next epoch's simulate phase: observers are pure sinks, so handing the
+// fully-assembled event buffer of epoch N to a delivery thread while epoch
+// N+1 simulates changes nothing about its content or order.
 //
 // Because phase 1 is core-local, phase 2 is shard-local with a fixed merge
-// order, and phase 3 is sequential with the same fixed order, the committed
-// event stream — and therefore every profile built from it — is
-// bit-identical for any host thread count, including 1.
+// order, and phase 3's schedule is a pure function of the recorded queues
+// and committed state, the committed event stream — and therefore every
+// profile built from it — is bit-identical for any host thread count,
+// including 1.
 
 #ifndef DPROF_SRC_MACHINE_ENGINE_H_
 #define DPROF_SRC_MACHINE_ENGINE_H_
@@ -53,12 +72,34 @@ struct EngineConfig {
   // lower-bound clocks within one parallel phase, and the granularity at
   // which cross-core mailboxes (EpochHook) exchange state.
   uint64_t epoch_cycles = 20'000;
+  // The apply pass merges recorded accesses in (t >> apply_quantum_bits,
+  // core, program order): cores' accesses interleave at quantum granularity
+  // instead of op granularity. The legacy loop reorders at driver-step
+  // granularity (one core runs a whole step before the min-clock scan picks
+  // the next), so a quantum of the same order keeps coherence timing
+  // comparable while giving the host long same-core runs — the simulated
+  // L1/L2 state stays hot and the merge tree amortizes across runs.
+  int apply_quantum_bits = 11;  // 2048-cycle quanta; fidelity data in tests/engine_validation_test.cc
+};
+
+// Host wall-clock spent in each engine phase, accumulated across epochs.
+// deliver_seconds counts span delivery to observers wherever it ran: on the
+// delivery thread when commit overlaps the next simulate phase, inside the
+// commit phase (and therefore also inside commit_seconds) at one thread.
+struct EnginePhaseStats {
+  double simulate_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double commit_seconds = 0.0;
+  double deliver_seconds = 0.0;
+  uint64_t epochs = 0;
 };
 
 class Engine final : public Executor {
  public:
   // Matches CacheHierarchy's core-count bound; merge scratch is stack-sized.
   static constexpr int kMaxCores = 32;
+  static_assert((kMaxCores & (kMaxCores - 1)) == 0,
+                "merge keys pack the core id into the low log2(kMaxCores) bits");
 
   Engine(Machine* machine, const EngineConfig& config = {});
   ~Engine() override;
@@ -72,12 +113,74 @@ class Engine final : public Executor {
   int threads() const { return threads_; }
   const EngineConfig& config() const { return config_; }
   uint64_t epochs_run() const { return epochs_run_; }
+  const EnginePhaseStats& phase_stats() const { return phase_stats_; }
 
  private:
+  // Observer/PMU capability snapshot the commit pass branches on per run
+  // instead of per op. Rebuilt at every commit and after any operation that
+  // can rearm a hook (sync ops, full per-op dispatches).
+  struct FusedSink {
+    struct Filtered {
+      PmuHook* hook;
+      Addr lo;
+      Addr hi;
+    };
+    std::vector<PmuHook*> counting;   // consulted via QuietOps / skip batches
+    std::vector<Filtered> filtered;   // consulted only on address overlap
+    bool want_events = false;         // any MachineObserver attached
+  };
+
+  // One epoch's observer-bound event stream: homogeneous spans over the two
+  // typed buffers, in exact commit order. Double-buffered so delivery of
+  // epoch N can overlap epoch N+1's simulate phase.
+  struct EventBatch {
+    struct Span {
+      uint8_t is_compute;
+      uint32_t offset;
+      uint32_t count;
+    };
+    std::vector<AccessEvent> access;
+    std::vector<ComputeEvent> compute;
+    std::vector<Span> spans;
+
+    bool IsEmpty() const { return spans.empty(); }
+    void Clear() {
+      access.clear();
+      compute.clear();
+      spans.clear();
+    }
+  };
+
   void RunEpoch(uint64_t epoch_end);
   void SimulateCore(int core, uint64_t epoch_end);
   void ApplyShard(uint32_t shard);
+  void ApplyGlobal();
   void CommitEpoch();
+
+  // Commits ops of `core` starting at `begin` within a sync-free segment
+  // ending at `end`, advancing the core's committed clock in place. Stops
+  // at the first access some PMU hook can act on — a cross-core-visible
+  // effect that must re-arbitrate — and returns its index; the access at
+  // `begin` itself, already arbitrated, dispatches immediately. Returns
+  // `end` when the whole segment committed.
+  uint32_t CommitRun(int core, uint32_t begin, uint32_t end);
+  // Commits the sync op at `index`; returns false when the core parked on a
+  // lock whose release is still pending (op not consumed).
+  bool CommitSyncOp(int core, uint32_t index);
+  // Full per-op path for an access some hook may act on: assembles the
+  // event, delivers it, and lets every PMU hook charge the core.
+  void DispatchAccess(int core, uint32_t index, uint64_t& clock);
+
+  void ResyncSink();
+  void RefreshQuiet(int core);
+  void FlushQuiet(int core);
+
+  void EmitAccess(const AccessEvent& event);
+  void EmitCompute(const ComputeEvent& event);
+  void DeliverBatch(const EventBatch& batch);
+  void HandOffOrDeliver();
+  void WaitDeliveryIdle();
+  void DeliveryLoop();
 
   // Runs fn(0..count-1) on the worker pool; the calling thread participates.
   void ParallelFor(int count, const std::function<void(int)>& fn);
@@ -89,17 +192,43 @@ class Engine final : public Executor {
   EngineConfig config_;
   int threads_ = 1;
   uint32_t num_shards_ = 1;
+  // Shard-parallel apply when worker threads exist; fused single merge
+  // (bit-identical results, no shard lists) otherwise.
+  bool shard_apply_ = false;
   std::vector<CoreRecorder> recorders_;
   uint64_t epochs_run_ = 0;
+  EnginePhaseStats phase_stats_;
 
-  // Per-core commit-time lock state (wait stashed between kLockAcquire and
-  // kLockAcquireDone; park bookkeeping while a holder's release is pending)
-  // and latency-probe accumulators.
-  std::vector<uint64_t> lock_wait_;
+  // Per-core commit-time lock state (park bookkeeping while a holder's
+  // release is pending) and latency-probe accumulators.
   std::vector<SimLock*> blocked_on_;
   std::vector<uint64_t> block_start_;
   std::vector<uint64_t> probe_latency_;
   std::vector<uint8_t> probe_active_;
+
+  // Commit-pass scratch, valid during CommitEpoch (members so the lock
+  // wake-up in CommitSyncOp can refresh parked cores' keys).
+  FusedSink sink_;
+  uint64_t commit_keys_[kMaxCores];
+  uint32_t commit_cursor_[kMaxCores];
+  uint32_t commit_sync_i_[kMaxCores];
+  bool woke_parked_ = false;  // a lock release re-armed a parked core's key
+  // PMU gate: remaining quiet budget across sink_.counting hooks, and the
+  // accesses consumed under it but not yet flushed via OnQuietAccessBatch.
+  // gate_unbounded_ marks a kQuietUnbounded budget (no accounting needed).
+  uint64_t gate_quiet_[kMaxCores];
+  uint64_t gate_skipped_[kMaxCores];
+  uint8_t gate_unbounded_[kMaxCores];
+
+  // Observer delivery. batches_[build_batch_] is filled by the commit pass;
+  // the other slot may be in flight on the delivery thread.
+  EventBatch batches_[2];
+  int build_batch_ = 0;
+  std::thread deliver_thread_;
+  std::mutex deliver_mu_;
+  std::condition_variable deliver_cv_;
+  bool deliver_pending_ = false;
+  bool deliver_shutdown_ = false;
 
   // Worker pool (created only when threads > 1). All dispatch state is
   // guarded by mu_; generation_ identifies the current dispatch so a

@@ -6,6 +6,21 @@
 
 namespace dprof {
 
+void CoreRecorder::Grow() {
+  const size_t new_cap = capacity == 0 ? 4096 : capacity * 2;
+  auto new_lane = std::make_unique<Lane[]>(new_cap);
+  auto new_meta = std::make_unique<Meta[]>(new_cap);
+  if (n > 0) {
+    __builtin_memcpy(new_lane.get(), lane, n * sizeof(Lane));
+    __builtin_memcpy(new_meta.get(), meta, n * sizeof(Meta));
+  }
+  lane_store_ = std::move(new_lane);
+  meta_store_ = std::move(new_meta);
+  lane = lane_store_.get();
+  meta = meta_store_.get();
+  capacity = new_cap;
+}
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       hierarchy_(config.hierarchy),
@@ -94,23 +109,21 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
   if (recorder_ != nullptr) {
     // Engine mode: queue one op per line chunk; results resolve at commit.
     const uint32_t l1_latency = m.config_.hierarchy.latency.l1;
+    const uint32_t raw_cost = m.config_.base_op_cost + l1_latency;
+    const uint32_t write_bit = is_write ? CoreRecorder::kWriteBit : 0u;
     AccessResult total;
     Addr at = addr;
     uint32_t remaining = size;
     while (remaining > 0) {
-      const uint32_t line_room = static_cast<uint32_t>(line_size - (at % line_size));
+      const uint32_t line_room =
+          static_cast<uint32_t>(line_size - (at & (line_size - 1)));
       const uint32_t chunk = remaining < line_room ? remaining : line_room;
-      SimOp op;
-      op.kind = SimOp::kAccess;
-      op.t = recorder_->lb;
-      op.addr = at;
-      op.size = chunk;
-      op.ip = ip;
-      op.is_write = is_write;
-      recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(
-          static_cast<uint32_t>(recorder_->ops.size()));
-      recorder_->Push(op);
-      recorder_->ChargeAccess(m.config_.base_op_cost + l1_latency);
+      if (recorder_->record_shards) {
+        recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(
+            static_cast<uint32_t>(recorder_->size()));
+      }
+      recorder_->PushAccess(recorder_->lb, at, chunk | write_bit, ip);
+      recorder_->ChargeAccess(raw_cost);
       total.latency += l1_latency;
       ++total.lines;
       at += chunk;
@@ -123,7 +136,7 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
   Addr at = addr;
   uint32_t remaining = size;
   while (remaining > 0) {
-    const uint32_t line_room = static_cast<uint32_t>(line_size - (at % line_size));
+    const uint32_t line_room = static_cast<uint32_t>(line_size - (at & (line_size - 1)));
     const uint32_t chunk = remaining < line_room ? remaining : line_room;
     const AccessResult r = m.hierarchy_.Access(core_, at, chunk, is_write, now());
     m.clocks_[core_] += m.config_.base_op_cost + r.latency;
@@ -168,12 +181,9 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
 void CoreContext::Compute(FunctionId ip, uint64_t cycles) {
   Machine& m = *machine_;
   if (recorder_ != nullptr) {
-    SimOp op;
-    op.kind = SimOp::kCompute;
-    op.t = recorder_->lb;
-    op.ip = ip;
-    op.aux = cycles;
-    recorder_->Push(op);
+    if (!recorder_->CoalesceCycles(SimOp::kCompute, ip, cycles)) {
+      recorder_->PushCycles(SimOp::kCompute, recorder_->lb, cycles, ip);
+    }
     recorder_->ChargeExact(cycles);
     return;
   }
@@ -196,15 +206,17 @@ void CoreContext::Free(Addr addr, FunctionId ip) {
 void CoreContext::LockAcquire(SimLock& lock, FunctionId ip) {
   Machine& m = *machine_;
   if (recorder_ != nullptr) {
+    // The lock-word access records first, the acquire op after it: at
+    // commit, latency-then-wait sums to the same clock as the direct
+    // mode's wait-then-latency, and the acquire needs only one sync op
+    // (arbitration point) instead of an acquire/done pair bracketing the
+    // access.
+    Access(ip, lock.word_, 8, true);
     SimOp op;
     op.kind = SimOp::kLockAcquire;
     op.t = recorder_->lb;
     op.addr = reinterpret_cast<Addr>(&lock);
     op.ip = ip;
-    recorder_->Push(op);
-    Access(ip, lock.word_, 8, true);
-    op.kind = SimOp::kLockAcquireDone;
-    op.t = recorder_->lb;
     recorder_->Push(op);
     return;
   }

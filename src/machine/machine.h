@@ -11,11 +11,10 @@
 //    against the hierarchy immediately. RunSteps and executor-less RunFor
 //    use it, as do tests that drive contexts by hand.
 //  - Recorded mode: a CoreContext carries a CoreRecorder and operations are
-//    appended as SimOps to per-core queues instead of executing. The epoch
-//    engine (src/machine/engine.h) simulates all cores concurrently this
-//    way, then commits the queues against the hierarchy in deterministic
-//    (cycle, core) order, so the committed event stream is bit-identical
-//    for any host thread count.
+//    appended to per-core SoA queues instead of executing. The epoch engine
+//    (src/machine/engine.h) simulates all cores concurrently this way, then
+//    applies and commits the queues in a deterministic order, so the
+//    committed event stream is bit-identical for any host thread count.
 //
 // All instrumentation attaches here:
 //  - MachineObserver: sees every access and compute operation (code profiler).
@@ -58,19 +57,81 @@ struct AccessEvent {
   uint64_t now = 0;           // core clock after the access completed
 };
 
+// One compute burst, the span-delivery counterpart of the OnCompute virtual.
+struct ComputeEvent {
+  int core = 0;
+  FunctionId ip = kInvalidFunction;
+  uint64_t cycles = 0;
+  uint64_t now = 0;
+};
+
 class MachineObserver {
  public:
   virtual ~MachineObserver() = default;
   virtual void OnAccess(const AccessEvent& event) = 0;
   virtual void OnCompute(int core, FunctionId ip, uint64_t cycles, uint64_t now) = 0;
+
+  // Span-based delivery. The epoch engine accumulates contiguous runs of
+  // committed events and hands them over in batches instead of making one
+  // virtual call per operation. The defaults reproduce per-event dispatch
+  // exactly — same events, same order — so overriding is purely an
+  // optimization for hot observers (e.g. CodeProfiler).
+  virtual void OnAccessBatch(const AccessEvent* events, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      OnAccess(events[i]);
+    }
+  }
+  virtual void OnComputeBatch(const ComputeEvent* events, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      OnCompute(events[i].core, events[i].ip, events[i].cycles, events[i].now);
+    }
+  }
 };
 
 // Hardware performance-monitoring hook. Returns extra cycles (interrupt and
 // handler cost) to charge to the executing core; 0 if the op was not sampled.
+//
+// The batch contract lets the engine's commit pass skip event assembly and
+// virtual dispatch for operations a hook provably ignores:
+//  - QuietOps(core) returns a lower bound on how many upcoming accesses
+//    executed by `core` this hook will neither sample nor charge for,
+//    assuming no intervening OnAccess call or reconfiguration. 0 means the
+//    hook must be consulted per access (the default, which preserves exact
+//    per-op dispatch for hooks that do not opt in).
+//  - OnQuietAccessBatch(core, n) accounts n accesses skipped under a
+//    QuietOps(core) >= n guarantee (e.g. IBS decrements its countdown by n
+//    in one step). Delivery may lag the skipped operations but always
+//    arrives before the hook's next OnAccess for that core.
+//  - AccessFilter(lo, hi): a hook that only reacts to accesses overlapping
+//    [*lo, *hi) (debug registers) returns true and the window; accesses
+//    outside it are skipped without consultation or quiet accounting.
+//
+// Every access that escapes these guarantees (an IBS countdown expiring, an
+// access overlapping a watchpoint window) is committed at an arbitration
+// point of the engine's global min-clock schedule, so hooks observe their
+// events — and handlers with cross-core shared state (the history collector
+// FSM) observe their callbacks — in exactly the order the per-op sequential
+// merge would produce.
 class PmuHook {
  public:
+  static constexpr uint64_t kQuietUnbounded = ~0ull;
+
   virtual ~PmuHook() = default;
   virtual uint64_t OnAccess(const AccessEvent& event) = 0;
+
+  virtual uint64_t QuietOps(int core) const {
+    (void)core;
+    return 0;
+  }
+  virtual void OnQuietAccessBatch(int core, uint64_t count) {
+    (void)core;
+    (void)count;
+  }
+  virtual bool AccessFilter(Addr* lo, Addr* hi) const {
+    (void)lo;
+    (void)hi;
+    return false;
+  }
 };
 
 // The typed allocator interface the machine exposes to drivers via
@@ -173,20 +234,26 @@ class EpochHook {
   virtual void OnEpochCommit(uint64_t now) = 0;
 };
 
-// One recorded simulation operation awaiting deterministic commit.
+// One recorded simulation operation awaiting deterministic commit. This is
+// the recording-side value type; CoreRecorder stores it scattered across
+// structure-of-arrays columns so the apply and commit passes only pull the
+// fields they touch through cache.
 struct SimOp {
+  // Sync kinds (>= kFirstSync) interact with cross-core state at commit
+  // time (locks, allocator events); they arbitrate on the global min-clock
+  // rule and delimit the segments the commit pass batches between them.
   enum Kind : uint8_t {
-    kAccess,           // addr/size/is_write; aux receives the apply result
+    kAccess,           // addr/size/is_write; lane.result receives the apply result
     kCompute,          // aux = cycles
     kIdle,             // aux = cycles
-    kLockAcquire,      // addr = SimLock*
-    kLockAcquireDone,  // addr = SimLock*
+    kProbeBegin,       // latency probe window opens
+    kProbeEnd,         // addr = RunningStat*, aux = divisor bits
+    kLockAcquire,      // addr = SimLock*; wait + acquire callback at commit
     kLockRelease,      // addr = SimLock*
     kAllocEvent,       // addr = base, aux = type<<32 | size
     kFreeEvent,        // addr = base, aux = type<<32 | size, flag = alien
-    kProbeBegin,       // latency probe window opens
-    kProbeEnd,         // addr = RunningStat*, aux = divisor bits
   };
+  static constexpr Kind kFirstSync = kLockAcquire;
 
   uint64_t t = 0;  // issuing core's lower-bound clock when recorded
   Addr addr = kNullAddr;
@@ -196,15 +263,6 @@ struct SimOp {
   Kind kind = kAccess;
   bool is_write = false;
   bool flag = false;
-
-  // Apply-phase result packing for kAccess (latency, level, invalidation).
-  static uint64_t PackResult(uint32_t latency, ServedBy level, bool invalidation) {
-    return static_cast<uint64_t>(latency) | (static_cast<uint64_t>(level) << 32) |
-           (static_cast<uint64_t>(invalidation) << 40);
-  }
-  uint32_t ResultLatency() const { return static_cast<uint32_t>(aux); }
-  ServedBy ResultLevel() const { return static_cast<ServedBy>((aux >> 32) & 0xff); }
-  bool ResultInvalidation() const { return ((aux >> 40) & 1) != 0; }
 };
 
 // Per-core operation queue filled during the engine's parallel simulation
@@ -213,10 +271,65 @@ struct SimOp {
 // L1 hits; PMU interrupts and lock waits are unknown until commit). The
 // engine orders commits by each op's recorded `t`, so the interleaving is a
 // pure function of the recorded streams — independent of host threading.
+//
+// Storage is SoA, grouped by consumer:
+//  - lane[]: everything the apply pass reads (t, addr, size+write bit) plus
+//    the 32-bit packed result it writes back — one 24-byte record per op.
+//    For non-access ops the (size_w, result) pair is dead and doubles as
+//    the 64-bit payload slot (compute/idle cycles, alloc type+size, probe
+//    divisor bits), so no separate aux column exists. Commit order is
+//    reconstructed from committed clocks, so only the apply merge reads t.
+//  - meta[]: {ip, kind} in 8 bytes — the commit pass's sequential scan
+//    (kind every op, alien flag in its top bit, ip only when an event is
+//    actually assembled).
+//  - sync_points[]: indices of kind >= kFirstSync ops, recorded at push
+//    time so the commit pass splits segments without rescanning.
+//  - shard_ops[]: per-hierarchy-shard access indices, recorded only when
+//    the engine runs the apply pass shard-parallel (record_shards); the
+//    single-thread apply uses one fused merge over the lane streams.
 class CoreRecorder {
  public:
+  struct Lane {
+    uint64_t t;
+    Addr addr;
+    uint32_t size_w;   // kAccess: size | kWriteBit; otherwise payload lo
+    uint32_t result;   // kAccess: packed by the apply pass; otherwise payload hi
+
+    uint64_t payload() const {
+      return static_cast<uint64_t>(size_w) | (static_cast<uint64_t>(result) << 32);
+    }
+    void set_payload(uint64_t payload) {
+      size_w = static_cast<uint32_t>(payload);
+      result = static_cast<uint32_t>(payload >> 32);
+    }
+  };
+  struct Meta {
+    FunctionId ip;
+    uint8_t kind;  // SimOp::Kind | kAlienBit
+    uint8_t pad[3];
+  };
+  static constexpr uint32_t kWriteBit = 0x8000'0000u;
+  static constexpr uint8_t kKindMask = 0x0f;
+  static constexpr uint8_t kAlienBit = 0x80;
+
+  // Apply-phase result packing for kAccess: latency (24 bits), level (3),
+  // invalidation (1). Simulated latencies are a few hundred cycles; 24 bits
+  // leaves three orders of magnitude of headroom.
+  static uint32_t PackResult(uint32_t latency, ServedBy level, bool invalidation) {
+    return latency | (static_cast<uint32_t>(level) << 24) |
+           (static_cast<uint32_t>(invalidation) << 27);
+  }
+  static uint32_t ResultLatency(uint32_t result) { return result & 0x00ff'ffffu; }
+  static ServedBy ResultLevel(uint32_t result) {
+    return static_cast<ServedBy>((result >> 24) & 0x7u);
+  }
+  static bool ResultInvalidation(uint32_t result) { return ((result >> 27) & 1u) != 0; }
+
+  // num_shards == 0 disables shard-list recording (single-thread apply).
   void Reset(uint64_t committed_clock, size_t num_shards) {
-    ops.clear();
+    n = 0;
+    sync_points.clear();
+    record_shards = num_shards > 0;
     if (shard_ops.size() != num_shards) {
       shard_ops.resize(num_shards);
     }
@@ -229,7 +342,62 @@ class CoreRecorder {
     exact_cost = 0;
   }
 
-  void Push(const SimOp& op) { ops.push_back(op); }
+  size_t size() const { return n; }
+  bool empty() const { return n == 0; }
+
+  void Push(const SimOp& op) {
+    if (op.kind >= SimOp::kFirstSync) {
+      sync_points.push_back(static_cast<uint32_t>(n));
+    }
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    if (op.kind == SimOp::kAccess) {
+      lane[n] = Lane{op.t, op.addr, op.size | (op.is_write ? kWriteBit : 0u), 0};
+    } else {
+      lane[n] = Lane{op.t, op.addr, static_cast<uint32_t>(op.aux),
+                     static_cast<uint32_t>(op.aux >> 32)};
+    }
+    meta[n] = Meta{op.ip, static_cast<uint8_t>(static_cast<uint8_t>(op.kind) |
+                                               (op.flag ? kAlienBit : 0u)),
+                   {0, 0, 0}};
+    ++n;
+  }
+
+  // Hot-path pushes (per-line accesses, compute bursts, idle steps) skip
+  // the SimOp staging: one capacity branch, two stores.
+  void PushAccess(uint64_t t, Addr addr, uint32_t size_w, FunctionId ip) {
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    lane[n] = Lane{t, addr, size_w, 0};
+    meta[n] = Meta{ip, SimOp::kAccess, {0, 0, 0}};
+    ++n;
+  }
+  void PushCycles(SimOp::Kind kind, uint64_t t, uint64_t cycles, FunctionId ip) {
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    lane[n] = Lane{t, kNullAddr, static_cast<uint32_t>(cycles),
+                   static_cast<uint32_t>(cycles >> 32)};
+    meta[n] = Meta{ip, static_cast<uint8_t>(kind), {0, 0, 0}};
+    ++n;
+  }
+  // Extends the previous op instead of pushing when it is the same cycle
+  // burst kind from the same function: consecutive compute/idle steps fuse
+  // into one op with the summed payload (clock effect identical; observers
+  // see one coalesced burst).
+  bool CoalesceCycles(SimOp::Kind kind, FunctionId ip, uint64_t cycles) {
+    if (n == 0) {
+      return false;
+    }
+    const Meta& last = meta[n - 1];
+    if (last.kind != static_cast<uint8_t>(kind) || last.ip != ip) {
+      return false;
+    }
+    lane[n - 1].set_payload(lane[n - 1].payload() + cycles);
+    return true;
+  }
 
   // Advances the lower-bound clock for one recorded access of raw cost
   // `raw` (base op cost + L1 latency). The calibrated scale stretches the
@@ -247,8 +415,16 @@ class CoreRecorder {
     exact_cost += cycles;
   }
 
-  std::vector<SimOp> ops;
-  // Indices of kAccess ops per hierarchy shard, in program order.
+  // Raw growable columns (capacity persists across epochs, so Grow is cold
+  // after warm-up; plain pointers keep the hot pushes to one branch).
+  Lane* lane = nullptr;
+  Meta* meta = nullptr;
+  size_t n = 0;
+  size_t capacity = 0;
+  std::vector<uint32_t> sync_points;
+  // Indices of kAccess ops per hierarchy shard, in program order; filled
+  // only when record_shards (shard-parallel apply).
+  bool record_shards = false;
   std::vector<std::vector<uint32_t>> shard_ops;
   uint64_t lb = 0;
   uint64_t epoch_start_clock = 0;
@@ -257,6 +433,12 @@ class CoreRecorder {
   // Q4 fixed-point committed-cost / raw-cost calibration, fed back by the
   // engine each epoch (16 = 1.0x).
   uint32_t cost_scale16 = 16;
+
+ private:
+  void Grow();  // doubles the column storage (cold; capacity persists)
+
+  std::unique_ptr<Lane[]> lane_store_;
+  std::unique_ptr<Meta[]> meta_store_;
 };
 
 struct MachineConfig {

@@ -4,6 +4,25 @@
 
 namespace dprof {
 
+void DebugRegisterFile::RecomputeBox() {
+  box_lo_ = 0;
+  box_hi_ = 0;
+  bool first = true;
+  for (int r = 0; r < kNumRegisters; ++r) {
+    const Watchpoint& wp = regs_[r];
+    if (!wp.active) {
+      continue;
+    }
+    if (first || wp.base < box_lo_) {
+      box_lo_ = wp.base;
+    }
+    if (first || wp.base + wp.len > box_hi_) {
+      box_hi_ = wp.base + wp.len;
+    }
+    first = false;
+  }
+}
+
 void DebugRegisterFile::Arm(int reg, Addr base, uint32_t len) {
   DPROF_CHECK(reg >= 0 && reg < kNumRegisters);
   DPROF_CHECK(len >= 1 && len <= kMaxWatchBytes);
@@ -11,6 +30,7 @@ void DebugRegisterFile::Arm(int reg, Addr base, uint32_t len) {
     ++num_active_;
   }
   regs_[reg] = Watchpoint{base, len, true};
+  RecomputeBox();
 }
 
 void DebugRegisterFile::Disarm(int reg) {
@@ -19,6 +39,7 @@ void DebugRegisterFile::Disarm(int reg) {
     --num_active_;
   }
   regs_[reg] = Watchpoint{};
+  RecomputeBox();
 }
 
 void DebugRegisterFile::DisarmAll() {
@@ -26,6 +47,7 @@ void DebugRegisterFile::DisarmAll() {
     regs_[r] = Watchpoint{};
   }
   num_active_ = 0;
+  RecomputeBox();
 }
 
 int DebugRegisterFile::FreeRegister() const {

@@ -53,6 +53,21 @@ class DebugRegisterFile final : public PmuHook {
   // PmuHook: fires the handler once per overlapping armed register and
   // returns the summed interrupt cost.
   uint64_t OnAccess(const AccessEvent& event) override;
+  // Disarmed, the file can never fire: unbounded quiet guarantee. Armed,
+  // it exposes the bounding window of the active watchpoints instead, so
+  // the engine skips non-overlapping accesses without a virtual call.
+  uint64_t QuietOps(int core) const override {
+    (void)core;
+    return num_active_ == 0 ? kQuietUnbounded : 0;
+  }
+  bool AccessFilter(Addr* lo, Addr* hi) const override {
+    if (num_active_ == 0) {
+      return false;
+    }
+    *lo = box_lo_;
+    *hi = box_hi_;
+    return true;
+  }
 
   const DebugRegCostModel& costs() const { return costs_; }
   void set_costs(const DebugRegCostModel& costs) { costs_ = costs; }
@@ -64,11 +79,16 @@ class DebugRegisterFile final : public PmuHook {
     bool active = false;
   };
 
+  void RecomputeBox();
+
   Watchpoint regs_[kNumRegisters];
   Handler handler_;
   DebugRegCostModel costs_;
   uint64_t hits_ = 0;
   int num_active_ = 0;
+  // Bounding window over the active watchpoints, kept by Arm/Disarm.
+  Addr box_lo_ = 0;
+  Addr box_hi_ = 0;
 };
 
 }  // namespace dprof

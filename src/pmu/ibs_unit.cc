@@ -3,14 +3,18 @@
 namespace dprof {
 
 IbsUnit::IbsUnit(int num_cores, const IbsConfig& config)
-    : config_(config), countdown_(num_cores, 0), rng_(config.seed) {
+    : config_(config), countdown_(num_cores, 0) {
+  rngs_.reserve(num_cores);
+  for (int c = 0; c < num_cores; ++c) {
+    rngs_.emplace_back(config.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(c) + 1);
+  }
   SetPeriod(config.period_ops);
 }
 
 void IbsUnit::SetPeriod(uint64_t period_ops) {
   config_.period_ops = period_ops;
-  for (auto& cd : countdown_) {
-    cd = period_ops == 0 ? 0 : static_cast<int64_t>(rng_.Jitter(period_ops));
+  for (size_t c = 0; c < countdown_.size(); ++c) {
+    countdown_[c] = period_ops == 0 ? 0 : static_cast<int64_t>(rngs_[c].Jitter(period_ops));
   }
 }
 
@@ -22,7 +26,7 @@ uint64_t IbsUnit::OnAccess(const AccessEvent& event) {
   if (--cd > 0) {
     return 0;
   }
-  cd = static_cast<int64_t>(rng_.Jitter(config_.period_ops));
+  cd = static_cast<int64_t>(rngs_[event.core].Jitter(config_.period_ops));
   ++samples_taken_;
   if (handler_) {
     IbsSample sample;

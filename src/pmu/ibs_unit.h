@@ -6,6 +6,14 @@
 // then raises an interrupt. This model samples the simulated op stream with
 // a randomized countdown and charges the documented ~2,000-cycle interrupt
 // cost (paper §6.3) to the core that took the interrupt.
+//
+// Sampling state is fully per-core — countdown and jitter stream both — so
+// a core's sample placement is a pure function of its own access sequence,
+// as on real hardware where each core owns its IBS registers. That also
+// lets the unit honour PmuHook's batch contract: QuietOps exposes the
+// countdown as a no-fire guarantee and OnQuietAccessBatch retires a whole
+// run of accesses with one subtraction, so the engine's commit pass only
+// pays for event assembly and virtual dispatch at (and around) samples.
 
 #ifndef DPROF_SRC_PMU_IBS_UNIT_H_
 #define DPROF_SRC_PMU_IBS_UNIT_H_
@@ -61,12 +69,24 @@ class IbsUnit final : public PmuHook {
 
   // PmuHook:
   uint64_t OnAccess(const AccessEvent& event) override;
+  uint64_t QuietOps(int core) const override {
+    if (config_.period_ops == 0) {
+      return kQuietUnbounded;
+    }
+    const int64_t cd = countdown_[core];
+    return cd > 1 ? static_cast<uint64_t>(cd - 1) : 0;
+  }
+  void OnQuietAccessBatch(int core, uint64_t count) override {
+    if (config_.period_ops != 0) {
+      countdown_[core] -= static_cast<int64_t>(count);
+    }
+  }
 
  private:
   IbsConfig config_;
   Handler handler_;
   std::vector<int64_t> countdown_;
-  Rng rng_;
+  std::vector<Rng> rngs_;  // per-core jitter streams
   uint64_t samples_taken_ = 0;
 };
 

@@ -103,6 +103,9 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
   DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 32);
   DPROF_CHECK(config.l1.line_size == config.l2.line_size &&
               config.l2.line_size == config.l3.line_size);
+  DPROF_CHECK(config.l1.line_size > 0 &&
+              (config.l1.line_size & (config.l1.line_size - 1)) == 0);
+  line_shift_ = static_cast<uint32_t>(__builtin_ctz(config.l1.line_size));
   l1_.reserve(config.num_cores);
   l2_.reserve(config.num_cores);
   for (int c = 0; c < config.num_cores; ++c) {
@@ -254,9 +257,8 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
   DPROF_DCHECK(core >= 0 && core < config_.num_cores);
   DPROF_DCHECK(size > 0);
   AccessResult result;
-  const uint32_t line_size = config_.l1.line_size;
-  const uint64_t first = addr / line_size;
-  const uint64_t last = (addr + size - 1) / line_size;
+  const uint64_t first = addr >> line_shift_;
+  const uint64_t last = (addr + size - 1) >> line_shift_;
 
   for (uint64_t line = first; line <= last; ++line) {
     ServedBy level = ServedBy::kL1;
@@ -302,12 +304,12 @@ const CoreMemStats& CacheHierarchy::core_stats(int core) const {
 }
 
 bool CacheHierarchy::InPrivateCache(int core, Addr addr) const {
-  const uint64_t line = addr / config_.l1.line_size;
+  const uint64_t line = addr >> line_shift_;
   return l1_[core].Contains(line) || l2_[core].Contains(line);
 }
 
 ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
-  const uint64_t line = addr / config_.l1.line_size;
+  const uint64_t line = addr >> line_shift_;
   if (l1_[core].Contains(line)) {
     return ServedBy::kL1;
   }

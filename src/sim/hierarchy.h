@@ -89,7 +89,7 @@ class CacheHierarchy {
   // different shards touch disjoint state.
   uint32_t num_shards() const { return shard_mask_ + 1; }
   uint32_t ShardOf(Addr addr) const {
-    return static_cast<uint32_t>((addr / config_.l1.line_size) & shard_mask_);
+    return static_cast<uint32_t>((addr >> line_shift_) & shard_mask_);
   }
 
   // Introspection for tests and profilers.
@@ -161,6 +161,7 @@ class CacheHierarchy {
 
   HierarchyConfig config_;
   uint32_t shard_mask_ = 0;  // num_shards-1
+  uint32_t line_shift_ = 6;  // log2(line size); lines are power-of-two sized
   std::vector<Cache> l1_;
   std::vector<Cache> l2_;
   Cache l3_;
