@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Diffs `dprof bench table_*` reproductions against the paper's reference
+numbers, with tolerances.
+
+Usage: check_tables.py --dprof ./build/dprof [--only name1,name2]
+
+Each checked table has a spec below: the headline facts the reproduction must
+preserve (which type tops the profile, bounce verdicts, how working sets and
+latencies move between operating points), plus numeric values compared against
+the paper's numbers (Pesterev 2010) within per-check tolerances. The
+simulation is deterministic — fixed seeds, no host dependence — so tolerances
+only absorb the model-vs-hardware distance, not run-to-run noise: a change
+that walks a value outside its band has changed the reproduction itself.
+
+Exit code 1 when any check fails; tables without a spec are not run.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+
+def parse_profile_rows(text):
+    """Rows of a data-profile table: name, working set, miss share, bounce."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(
+            r"\s*(\S+)\s+([\d.]+)(B|KB|MB|GB)\s+([\d.]+)%\s+(yes|no|-)\s*$", line
+        )
+        if m and m.group(1) != "Total":
+            scale = {"B": 1, "KB": 1 << 10, "MB": 1 << 20, "GB": 1 << 30}[m.group(3)]
+            rows.append(
+                {
+                    "type": m.group(1),
+                    "ws_bytes": float(m.group(2)) * scale,
+                    "miss_pct": float(m.group(4)),
+                    "bounce": m.group(5),
+                }
+            )
+    return rows
+
+
+def parse_lock_rows(text):
+    """Rows of a lock-stat table: lock name, wait seconds, overhead pct."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(r"\s*(.+?)\s+([\d.]+) sec\s+([\d.]+)%", line)
+        if m:
+            rows.append(
+                {
+                    "lock": m.group(1).strip(),
+                    "wait_s": float(m.group(2)),
+                    "overhead_pct": float(m.group(3)),
+                }
+            )
+    return rows
+
+
+def section(text, start, end=None):
+    i = text.find(start)
+    if i < 0:
+        return ""
+    j = text.find(end, i) if end else -1
+    return text[i:j] if end and j >= 0 else text[i:]
+
+
+class Checker:
+    def __init__(self, name):
+        self.name = name
+        self.failures = []
+        self.passes = 0
+
+    def check(self, label, ok, detail=""):
+        if ok:
+            self.passes += 1
+            print(f"  OK    {label} {detail}")
+        else:
+            self.failures.append(label)
+            print(f"  FAIL  {label} {detail}")
+
+    def near(self, label, value, paper, tol):
+        self.check(
+            label,
+            abs(value - paper) <= tol,
+            f"(got {value:.2f}, paper {paper:.2f}, tol ±{tol:.2f})",
+        )
+
+
+def check_table_6_1(text, c):
+    """Memcached profile: size-1024 payloads dominate and bounce."""
+    # The simulated table before the "paper reference rows" echo.
+    rows = parse_profile_rows(section(text, "Type name", "paper reference"))
+    c.check("profile parsed", len(rows) >= 5, f"({len(rows)} rows)")
+    if not rows:
+        return
+    c.check("size-1024 tops the profile", rows[0]["type"] == "size-1024",
+            f"(top: {rows[0]['type']})")
+    # Paper: 45.40% of all L1 misses; tolerance covers the model distance.
+    c.near("size-1024 miss share", rows[0]["miss_pct"], 45.40, 16.0)
+    by_type = {r["type"]: r for r in rows}
+    for name in ("size-1024", "slab", "net_device", "udp_sock", "skbuff"):
+        if name in by_type:
+            c.check(f"{name} bounces", by_type[name]["bounce"] == "yes")
+    # Paper: the listed types cover ~80% of all misses.
+    total = sum(r["miss_pct"] for r in rows)
+    c.near("top types' combined miss share", total, 81.86, 16.0)
+
+
+def check_table_6_2(text, c):
+    """Lock-stat under memcached: the Qdisc lock leads, epoll close behind."""
+    rows = parse_lock_rows(section(text, "Lock Name", "paper reference"))
+    c.check("lock table parsed", len(rows) >= 3, f"({len(rows)} rows)")
+    if not rows:
+        return
+    c.check("Qdisc lock has the highest overhead", rows[0]["lock"] == "Qdisc lock",
+            f"(top: {rows[0]['lock']})")
+    # Paper: 4.04% — the simulated machine is smaller, so the band is wide,
+    # but the lock must stay materially contended.
+    c.near("Qdisc lock overhead pct", rows[0]["overhead_pct"], 4.04, 3.5)
+    names = [r["lock"] for r in rows]
+    c.check("epoll lock contended", "epoll lock" in names)
+
+
+def check_table_6_4_6_5(text, c):
+    """Apache peak vs drop-off: tcp_sock working set and latency blow up."""
+    peak = parse_profile_rows(section(text, "== Table 6.4", "== Table 6.5"))
+    drop = parse_profile_rows(section(text, "== Table 6.5", "== Differential"))
+    c.check("peak profile parsed", len(peak) >= 4)
+    c.check("drop-off profile parsed", len(drop) >= 4)
+    if not peak or not drop:
+        return
+    c.check("tcp_sock tops the peak profile", peak[0]["type"] == "tcp_sock")
+    c.check("tcp_sock tops the drop-off profile", drop[0]["type"] == "tcp_sock")
+    ws_ratio = drop[0]["ws_bytes"] / max(peak[0]["ws_bytes"], 1.0)
+    c.check("tcp_sock working set grows at drop-off", ws_ratio > 1.5,
+            f"({ws_ratio:.1f}x; paper 10.4x)")
+    m = re.search(r"line latency \(cycles\)\s+(\d+)\s+(\d+)", text)
+    c.check("latency line parsed", m is not None)
+    if m:
+        lat_ratio = int(m.group(2)) / max(int(m.group(1)), 1)
+        c.check("tcp_sock miss latency grows at drop-off", lat_ratio > 1.2,
+                f"({lat_ratio:.1f}x; paper 3x)")
+
+
+SPECS = {
+    "table_6_1_memcached_profile": check_table_6_1,
+    "table_6_2_lockstat_memcached": check_table_6_2,
+    "table_6_4_6_5_apache_profile": check_table_6_4_6_5,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dprof", default="./build/dprof")
+    parser.add_argument("--only", default="", help="comma-separated table names")
+    args = parser.parse_args()
+
+    only = {name for name in args.only.split(",") if name}
+    names = sorted(only if only else SPECS.keys())
+    unknown = [n for n in names if n not in SPECS]
+    if unknown:
+        print(f"FAIL: no check spec for: {', '.join(unknown)}")
+        return 1
+
+    failed = []
+    for name in names:
+        print(f"== {name}")
+        proc = subprocess.run(
+            [args.dprof, "bench", name, "--json"], capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            print(f"  FAIL  dprof bench {name} exited {proc.returncode}")
+            failed.append(name)
+            continue
+        doc = json.loads(proc.stdout)
+        exit_metric = {m["name"]: m["value"] for m in doc.get("metrics", [])}
+        if exit_metric.get("exit_code", 1) != 0:
+            print(f"  FAIL  bench program exit_code {exit_metric.get('exit_code')}")
+            failed.append(name)
+            continue
+        checker = Checker(name)
+        SPECS[name](doc.get("output", ""), checker)
+        if checker.failures:
+            failed.append(name)
+
+    if failed:
+        print(f"\nFAIL: table reproductions out of tolerance: {', '.join(failed)}")
+        return 1
+    print("\nOK: all checked table reproductions within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,8 @@
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
                         [--only name1,name2]
 
-Fails (exit 1) when any host-cost metric (unit ns/op or s) regresses by more
-than the threshold relative to the baseline. With --only, only the listed
+Fails (exit 1) when any host-cost metric (unit ns/op, ns/access, or s)
+regresses by more than the threshold relative to the baseline. With --only, only the listed
 metrics are gate-eligible (the rest are informational) — used for benches
 like parallel_engine where some timings (hardware-thread scaling on shared
 runners) are too noisy to gate on. Simulated-cost-model constants (unit
@@ -61,7 +61,7 @@ def main():
                 f"{metric['value']:10.2f} {unit}"
             )
             continue
-        if unit in ("ns/op", "s") and old["value"] > 0:
+        if unit in ("ns/op", "ns/access", "s") and old["value"] > 0:
             ratio = metric["value"] / old["value"]
             status = "OK"
             if ratio > 1.0 + args.threshold:

@@ -4,13 +4,16 @@
 
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "src/cli/scenario_registry.h"
+#include "src/sim/hierarchy.h"
 #include "src/util/check.h"
 #include "src/util/json_writer.h"
+#include "src/util/rng.h"
 #include "src/workload/apache.h"
 #include "src/workload/kernel.h"
 #include "src/workload/memcached.h"
@@ -120,6 +123,105 @@ BenchReport RunMicroCosts(const BenchParams& params) {
   report.metrics.push_back({"debugreg_setup_initiator_cycles",
                             static_cast<double>(debug_costs.setup_initiator_cycles),
                             "cycles"});
+  return report;
+}
+
+// ns/access of the simulated cache hierarchy itself, per access mix. This is
+// the engine's apply-pass inner loop (~70% of a `dprof run` since PR 3), so
+// CI gates regressions on the stable mixes via compare_bench.py --only.
+BenchReport RunHierarchyBench(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "hierarchy";
+  HierarchyConfig config;
+  config.num_cores = 16;
+  CacheHierarchy h(config);
+  uint64_t now = 0;
+  const uint32_t line = config.l1.line_size;
+
+  // Pure L1 read hits: 256 resident lines, one core.
+  {
+    for (uint64_t i = 0; i < 256; ++i) {
+      h.Access(0, i * line, 8, false, ++now);
+    }
+    const double ns = TimePerOp(Scaled(params.scale, 4'000'000), [&](uint64_t i) {
+      h.Access(0, (i & 255) * line, 8, false, ++now);
+    });
+    report.metrics.push_back({"l1_read_hit", ns, "ns/access"});
+  }
+
+  // L1 write hits on exclusively-owned lines (the write fast path).
+  {
+    for (uint64_t i = 0; i < 256; ++i) {
+      h.Access(1, i * line, 8, true, ++now);
+    }
+    const double ns = TimePerOp(Scaled(params.scale, 4'000'000), [&](uint64_t i) {
+      h.Access(1, (i & 255) * line, 8, true, ++now);
+    });
+    report.metrics.push_back({"l1_write_hit", ns, "ns/access"});
+  }
+
+  // L2 hits: cycle a footprint larger than L1 (4096 lines = 256 KiB).
+  {
+    h.FlushAll();
+    const double ns = TimePerOp(Scaled(params.scale, 2'000'000), [&](uint64_t i) {
+      h.Access(2, (i & 4095) * line, 8, false, ++now);
+    });
+    report.metrics.push_back({"l2_hit", ns, "ns/access"});
+  }
+
+  // L3 hits: cycle a footprint larger than L2 (32768 lines = 2 MiB).
+  {
+    h.FlushAll();
+    const double ns = TimePerOp(Scaled(params.scale, 1'000'000), [&](uint64_t i) {
+      h.Access(3, (i & 32767) * line, 8, false, ++now);
+    });
+    report.metrics.push_back({"l3_hit", ns, "ns/access"});
+  }
+
+  // Cold DRAM misses: a stream of never-repeated lines (L3 fills + evictions
+  // once the stream wraps past capacity).
+  {
+    h.FlushAll();
+    const double ns = TimePerOp(Scaled(params.scale, 1'000'000), [&](uint64_t i) {
+      h.Access(4, (1ull << 32) + i * line, 8, false, ++now);
+    });
+    report.metrics.push_back({"dram_miss", ns, "ns/access"});
+  }
+
+  // Invalidation ping-pong: four cores take turns writing the same 64 lines,
+  // so every access is a remote-invalidation miss plus a write upgrade.
+  {
+    h.FlushAll();
+    const double ns = TimePerOp(Scaled(params.scale, 1'000'000), [&](uint64_t i) {
+      h.Access(static_cast<int>((i >> 6) & 3), (2ull << 32) + (i & 63) * line, 8, true,
+               ++now);
+    });
+    report.metrics.push_back({"invalidation_pingpong", ns, "ns/access"});
+  }
+
+  // Mixed: 16 cores, pseudo-random lines in a 4096-line shared footprint,
+  // 25% writes — every path (hits, fills, upgrades, foreign fetches,
+  // invalidations) in one scenario-shaped number.
+  {
+    h.FlushAll();
+    Rng rng(params.seed);
+    const double ns = TimePerOp(Scaled(params.scale, 2'000'000), [&](uint64_t i) {
+      const uint64_t r = rng.Next();
+      h.Access(static_cast<int>(i & 15), (3ull << 32) + (r & 4095) * line, 8,
+               (r >> 40) % 4 == 0, ++now);
+    });
+    report.metrics.push_back({"mixed", ns, "ns/access"});
+  }
+
+  // Geometric mean across the mixes: the headline ns/access figure the CI
+  // regression gate watches.
+  double log_sum = 0.0;
+  for (const BenchMetric& metric : report.metrics) {
+    log_sum += std::log(metric.value);
+  }
+  report.metrics.push_back(
+      {"geomean", std::exp(log_sum / static_cast<double>(report.metrics.size())),
+       "ns/access"});
   return report;
 }
 
@@ -324,6 +426,10 @@ void RegisterBuiltinBenches(BenchRegistry& registry) {
   registry.Register("micro_costs",
                     "host cost of substrate primitives + paper cost constants",
                     RunMicroCosts);
+  registry.Register("hierarchy",
+                    "ns/access of the cache-hierarchy model per access mix "
+                    "(hits, misses, invalidation ping-pong, mixed)",
+                    RunHierarchyBench);
   registry.Register("memcached_throughput",
                     "simulated memcached req/s, stock vs. core-local tx fix",
                     RunMemcachedThroughput);

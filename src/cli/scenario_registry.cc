@@ -157,6 +157,13 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
       report.drill_type_found = false;
       return report;
     }
+    // Drilling into a mailbox-fed type: run the whole session under tight
+    // epochs so the sampled miss profile of the studied type is not blurred
+    // by epoch-batched mailbox delivery (the engine's one known drift from
+    // the legacy loop). Other runs keep the cheap default epoch length.
+    if (rig->machine->IsMailboxFedType(drill)) {
+      rig->machine->SetEpochFocus(true);
+    }
   }
 
   // Scenario runs execute on the epoch engine unless the caller asked for
@@ -215,6 +222,7 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   report.scenario = name;
   report.cores = rig->machine->num_cores();
   report.collect_cycles = rig->collect_cycles;
+  report.hierarchy = rig->machine->hierarchy().Totals();
   report.requests = rig->workload->CompletedRequests();
   report.throughput_rps = ThroughputRps(report.requests, rig->machine->MaxClock());
   report.access_samples = session.samples().total_samples();
@@ -255,6 +263,19 @@ std::string ScenarioReportToJson(const ScenarioReport& report) {
   json.Key("requests").UInt(report.requests);
   json.Key("throughput_rps").Number(report.throughput_rps);
   json.Key("access_samples").UInt(report.access_samples);
+  json.Key("hierarchy").BeginObject();
+  json.Key("accesses").UInt(report.hierarchy.accesses);
+  json.Key("l1_hits").UInt(report.hierarchy.l1_hits);
+  json.Key("l1_misses").UInt(report.hierarchy.l1_misses);
+  json.Key("served").BeginArray();
+  for (int i = 0; i < 5; ++i) {
+    json.UInt(report.hierarchy.served[i]);
+  }
+  json.EndArray();
+  json.Key("invalidation_misses").UInt(report.hierarchy.invalidation_misses);
+  json.Key("tag_reclaims").UInt(report.hierarchy.tag_reclaims);
+  json.Key("back_invalidations").UInt(report.hierarchy.back_invalidations);
+  json.EndObject();
   json.Key("profile").BeginArray();
   for (const ScenarioProfileRow& row : report.profile) {
     json.BeginObject();

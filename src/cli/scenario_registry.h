@@ -131,6 +131,12 @@ struct ScenarioReport {
   std::string path_trace_text;    // Table 4.1-style listings
   std::string path_traces_json;   // JSON array of path traces
 
+  // Simulator-side ground truth: the hierarchy's aggregate counters after
+  // the run (read straight from the embedded-directory lattice). Included
+  // in the JSON document; deterministic for any host thread count, and the
+  // fingerprint the golden stats-equivalence test pins per scenario.
+  HierarchyTotals hierarchy;
+
   // Host-side engine phase timing for the run (zeroed on the legacy loop).
   // Deliberately excluded from ScenarioReportToJson: wall-clock varies with
   // the thread count while the report must stay byte-identical; the bench

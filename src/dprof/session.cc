@@ -39,6 +39,16 @@ uint64_t DProfSession::CollectHistories(TypeId type, uint32_t sets) {
   HistoryCollectorOptions history_options = options_.history;
   history_options.max_sets = sets;
 
+  // While a mailbox-fed type is under study, ask the executor for tight
+  // epochs: its objects are delivered through epoch-boundary mailboxes, so
+  // coarse epochs would distort exactly the reuse distances the histories
+  // are meant to capture. Restored below so other phases keep the cheap
+  // default.
+  const bool prev_focus = machine_->epoch_focus();
+  if (options_.adaptive_epoch_focus && machine_->IsMailboxFedType(type)) {
+    machine_->SetEpochFocus(true);
+  }
+
   const uint32_t object_size = allocator_->registry().Size(type);
   HistoryCollector collector(machine_, debug_regs_.get(), type, object_size, history_options,
                              allocator_);
@@ -56,6 +66,7 @@ uint64_t DProfSession::CollectHistories(TypeId type, uint32_t sets) {
   }
   collector.Stop();
   allocator_->RemoveObserver(&collector);
+  machine_->SetEpochFocus(prev_focus);
   const uint64_t elapsed = machine_->MaxClock() - start;
 
   auto& stored = histories_[type];

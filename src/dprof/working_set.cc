@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/util/check.h"
 #include "src/util/json_writer.h"
 #include "src/util/table.h"
 
@@ -38,6 +39,8 @@ WorkingSetView WorkingSetView::Build(const TypeRegistry& registry, const Address
                                      const WorkingSetOptions& options) {
   WorkingSetView view;
   const CacheGeometry& geom = options.geometry;
+  // LineOf/SetOf are shift/mask math and silently wrong otherwise.
+  DPROF_CHECK(geom.IsPowerOfTwoShaped());
   const uint64_t num_sets = geom.NumSets();
   view.set_histogram_.assign(num_sets, 0);
   view.capacity_lines_ = static_cast<double>(num_sets) * geom.ways;

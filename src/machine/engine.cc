@@ -83,6 +83,7 @@ inline AccessEvent MakeAccessEvent(int core, const CoreRecorder::Lane& lane,
 Engine::Engine(Machine* machine, const EngineConfig& config)
     : machine_(machine), config_(config) {
   DPROF_CHECK(config_.epoch_cycles > 0);
+  DPROF_CHECK(config_.epoch_cycles_focus > 0);
   DPROF_CHECK(config_.apply_quantum_bits >= 0 && config_.apply_quantum_bits < 32);
   DPROF_CHECK(machine_->num_cores() <= kMaxCores);
   threads_ = config_.threads > 0 ? config_.threads
@@ -206,7 +207,12 @@ void Engine::RunFor(uint64_t cycles) {
     if (min_clock >= deadline) {
       break;
     }
-    RunEpoch(std::min(deadline, min_clock + config_.epoch_cycles));
+    // Adaptive epoch length: tight while a mailbox-fed type is under study
+    // (focus is pure session state, so the choice — and therefore the
+    // committed stream — is identical for every host thread count).
+    const uint64_t epoch =
+        m.epoch_focus() ? config_.epoch_cycles_focus : config_.epoch_cycles;
+    RunEpoch(std::min(deadline, min_clock + epoch));
   }
   // Settle in-flight observer delivery before the caller can read observer
   // state: RunFor's boundary is the only synchronization point callers see.

@@ -46,6 +46,17 @@ void Machine::RemoveEpochHook(EpochHook* hook) {
                      epoch_hooks_.end());
 }
 
+void Machine::NoteMailboxFedType(TypeId type) {
+  if (!IsMailboxFedType(type)) {
+    mailbox_fed_types_.push_back(type);
+  }
+}
+
+bool Machine::IsMailboxFedType(TypeId type) const {
+  return std::find(mailbox_fed_types_.begin(), mailbox_fed_types_.end(), type) !=
+         mailbox_fed_types_.end();
+}
+
 uint64_t Machine::MinClock() const {
   return *std::min_element(clocks_.begin(), clocks_.end());
 }

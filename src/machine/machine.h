@@ -474,6 +474,23 @@ class Machine {
   void AddEpochHook(EpochHook* hook) { epoch_hooks_.push_back(hook); }
   void RemoveEpochHook(EpochHook* hook);
 
+  // Mailbox-fed types: registered by environments whose cross-core delivery
+  // stages in per-sender lanes that flush at epoch boundaries (TxQueue
+  // packets). Epoch batching delays those deliveries, which is the one
+  // execution-strategy drift the engine has left (miss rates on payload
+  // types); profilers consult this to know when tight epochs are warranted.
+  void NoteMailboxFedType(TypeId type);
+  bool IsMailboxFedType(TypeId type) const;
+
+  // Epoch focus: set while a mailbox-fed type is under study. The epoch
+  // engine shrinks its epochs (EngineConfig::epoch_cycles_focus) while this
+  // is on, so mailbox deliveries resolve at near-legacy granularity only
+  // when the fidelity is actually needed. Pure session state — identical
+  // for every host thread count — so determinism is unaffected. The legacy
+  // loop ignores it.
+  void SetEpochFocus(bool focus) { epoch_focus_ = focus; }
+  bool epoch_focus() const { return epoch_focus_; }
+
   // Installs an execution strategy; RunFor delegates to it when set.
   void SetExecutor(Executor* executor) { executor_ = executor; }
   Executor* executor() { return executor_; }
@@ -515,6 +532,8 @@ class Machine {
   AllocatorIface* allocator_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
   Executor* executor_ = nullptr;
+  std::vector<TypeId> mailbox_fed_types_;
+  bool epoch_focus_ = false;
 };
 
 // Lightweight per-core handle passed to drivers and the allocator. All

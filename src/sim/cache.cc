@@ -2,29 +2,16 @@
 
 namespace dprof {
 
-namespace {
-
-bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
-
-}  // namespace
-
 Cache::Cache(const CacheGeometry& geometry)
     : geometry_(geometry),
       lines_(geometry.NumSets() * geometry.ways, kInvalidLine),
       last_use_(geometry.NumSets() * geometry.ways, 0),
-      exclusive_(geometry.NumSets() * geometry.ways, 0),
       set_fills_(geometry.NumSets(), 0) {
-  DPROF_CHECK(geometry.line_size > 0);
   DPROF_CHECK(geometry.ways > 0);
   DPROF_CHECK(geometry.size_bytes % (static_cast<uint64_t>(geometry.line_size) * geometry.ways) ==
               0);
-  const uint64_t num_sets = geometry.NumSets();
-  DPROF_CHECK(num_sets > 0);
-  if (IsPowerOfTwo(num_sets)) {
-    set_mask_ = num_sets - 1;
-    stripe_mask_ = (num_sets < 64 ? num_sets : 64) - 1;
-  }
-  stripes_.resize(stripe_mask_ + 1);
+  DPROF_CHECK(geometry.IsPowerOfTwoShaped());
+  set_mask_ = geometry.SetMask();
 }
 
 int Cache::FindWay(uint64_t set, uint64_t line) const {
@@ -37,48 +24,16 @@ int Cache::FindWay(uint64_t set, uint64_t line) const {
   return -1;
 }
 
-bool Cache::Touch(uint64_t line, uint64_t now) { return TouchSlot(line, now) >= 0; }
-
-int64_t Cache::TouchSlot(uint64_t line, uint64_t now) {
+bool Cache::Touch(uint64_t line, uint64_t now) {
   const uint64_t set = SetIndex(line);
   const int w = FindWay(set, line);
   if (w >= 0) {
-    const uint64_t slot = set * geometry_.ways + static_cast<uint64_t>(w);
-    last_use_[slot] = now;
-    ++StripeOf(set).hits;
-    return static_cast<int64_t>(slot);
+    last_use_[set * geometry_.ways + static_cast<uint64_t>(w)] = now;
+    ++stats_.hits;
+    return true;
   }
-  ++StripeOf(set).misses;
-  return -1;
-}
-
-std::optional<uint64_t> Cache::FillAbsent(uint64_t line, uint64_t now, uint64_t* slot) {
-  const uint64_t set = SetIndex(line);
-  const uint64_t row = set * geometry_.ways;
-  DPROF_DCHECK(FindWay(set, line) < 0);
-  CacheStats& stats = StripeOf(set);
-  ++stats.fills;
-  ++set_fills_[set];
-  int victim = 0;
-  for (uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (lines_[row + w] == kInvalidLine) {
-      lines_[row + w] = line;
-      last_use_[row + w] = now;
-      exclusive_[row + w] = 0;
-      *slot = row + w;
-      return std::nullopt;
-    }
-    if (last_use_[row + w] < last_use_[row + victim]) {
-      victim = static_cast<int>(w);
-    }
-  }
-  const uint64_t evicted = lines_[row + victim];
-  lines_[row + victim] = line;
-  last_use_[row + victim] = now;
-  exclusive_[row + victim] = 0;
-  *slot = row + static_cast<uint64_t>(victim);
-  ++stats.evictions;
-  return evicted;
+  ++stats_.misses;
+  return false;
 }
 
 bool Cache::Contains(uint64_t line) const {
@@ -95,14 +50,12 @@ std::optional<uint64_t> Cache::Insert(uint64_t line, uint64_t now) {
       return std::nullopt;
     }
   }
-  CacheStats& stats = StripeOf(set);
-  ++stats.fills;
+  ++stats_.fills;
   ++set_fills_[set];
   for (uint32_t w = 0; w < geometry_.ways; ++w) {
     if (lines_[row + w] == kInvalidLine) {
       lines_[row + w] = line;
       last_use_[row + w] = now;
-      exclusive_[row + w] = 0;
       return std::nullopt;
     }
     if (victim < 0 || last_use_[row + w] < last_use_[row + victim]) {
@@ -112,8 +65,7 @@ std::optional<uint64_t> Cache::Insert(uint64_t line, uint64_t now) {
   const uint64_t evicted = lines_[row + victim];
   lines_[row + victim] = line;
   last_use_[row + victim] = now;
-  exclusive_[row + victim] = 0;
-  ++stats.evictions;
+  ++stats_.evictions;
   return evicted;
 }
 
@@ -126,23 +78,8 @@ bool Cache::Remove(uint64_t line) {
   const uint64_t slot = set * geometry_.ways + static_cast<uint64_t>(w);
   lines_[slot] = kInvalidLine;
   last_use_[slot] = 0;
-  exclusive_[slot] = 0;
-  ++StripeOf(set).invalidations;
+  ++stats_.invalidations;
   return true;
-}
-
-void Cache::SetExclusive(uint64_t line, bool exclusive) {
-  const uint64_t set = SetIndex(line);
-  const int w = FindWay(set, line);
-  if (w >= 0) {
-    exclusive_[set * geometry_.ways + static_cast<uint64_t>(w)] = exclusive ? 1 : 0;
-  }
-}
-
-bool Cache::IsExclusive(uint64_t line) const {
-  const uint64_t set = SetIndex(line);
-  const int w = FindWay(set, line);
-  return w >= 0 && exclusive_[set * geometry_.ways + static_cast<uint64_t>(w)] != 0;
 }
 
 uint64_t Cache::Occupancy() const {
@@ -153,18 +90,6 @@ uint64_t Cache::Occupancy() const {
     }
   }
   return n;
-}
-
-const CacheStats& Cache::stats() const {
-  agg_ = CacheStats();
-  for (const CacheStats& s : stripes_) {
-    agg_.hits += s.hits;
-    agg_.misses += s.misses;
-    agg_.fills += s.fills;
-    agg_.evictions += s.evictions;
-    agg_.invalidations += s.invalidations;
-  }
-  return agg_;
 }
 
 }  // namespace dprof

@@ -1,16 +1,16 @@
-// N-way set-associative cache model with per-set LRU replacement.
+// Cache geometry math and a standalone N-way set-associative cache model
+// with per-set LRU replacement.
 //
-// Addresses are tracked at cache-line granularity ("line numbers" =
-// byte address / line size). The cache knows nothing about coherence; the
-// hierarchy layers MESI-style state on top via the coherence directory. The
-// one piece of coherence state kept here is a per-way "exclusive" bit the
-// hierarchy uses to elide directory lookups for lines a single core owns.
+// Addresses are tracked at cache-line granularity ("line numbers" = byte
+// address >> line shift). Geometries are constrained to power-of-two line
+// sizes and set counts — checked at construction wherever a geometry backs
+// real state — so every address-to-line and line-to-set computation is a
+// shift or a mask, never a divide.
 //
-// Storage is structure-of-arrays: the line tags of one set are contiguous
-// (64 or 128 bytes), so the way scan that every operation performs touches
-// one or two host cache lines. Counter updates go to per-stripe slots
-// (stripe = set mod #stripes) so that the parallel engine's shard workers,
-// which own disjoint set ranges, never write the same counter.
+// The `Cache` class here is the reference model: tests and the working-set
+// view use it directly. The simulated machine's hot path does not — the
+// coherent hierarchy (src/sim/hierarchy.h) keeps its own flattened tag
+// lattice and only shares the geometry math.
 
 #ifndef DPROF_SRC_SIM_CACHE_H_
 #define DPROF_SRC_SIM_CACHE_H_
@@ -30,11 +30,22 @@ struct CacheGeometry {
   uint32_t ways = 8;
 
   uint64_t NumSets() const { return size_bytes / (static_cast<uint64_t>(line_size) * ways); }
-  uint64_t LineOf(Addr addr) const { return addr / line_size; }
-  uint64_t SetOf(uint64_t line) const { return line % NumSets(); }
+
+  // Shift/mask forms of the address math. Valid only for power-of-two line
+  // sizes and set counts, which every constructor taking a geometry checks.
+  uint32_t LineShift() const { return static_cast<uint32_t>(__builtin_ctz(line_size)); }
+  uint64_t SetMask() const { return NumSets() - 1; }
+  uint64_t LineOf(Addr addr) const { return addr >> LineShift(); }
+  uint64_t SetOf(uint64_t line) const { return line & SetMask(); }
+
+  bool IsPowerOfTwoShaped() const {
+    const uint64_t sets = NumSets();
+    return line_size != 0 && (line_size & (line_size - 1)) == 0 && sets != 0 &&
+           (sets & (sets - 1)) == 0;
+  }
 };
 
-// Per-cache counters, exposed for tests and the simulator-side ground truth.
+// Per-cache counters, exposed for tests.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -58,34 +69,12 @@ class Cache {
 
   // Inserts `line`, evicting the LRU way if the set is full. Returns the
   // evicted line, if any. Inserting a line that is already present just
-  // refreshes it and returns nullopt. A newly inserted line is not exclusive.
+  // refreshes it and returns nullopt.
   std::optional<uint64_t> Insert(uint64_t line, uint64_t now);
 
   // Removes `line` (coherence invalidation or explicit flush).
   // Returns true if the line was present.
   bool Remove(uint64_t line);
-
-  // Coherence "exclusive/modified by the owning core" bit. Both calls are
-  // no-ops / false for lines not present.
-  void SetExclusive(uint64_t line, bool exclusive);
-  bool IsExclusive(uint64_t line) const;
-
-  // ---- Slot-level API for the hierarchy's hot paths ----------------------
-  // A slot is set * ways + way; it stays valid until this cache's set is
-  // modified again. These avoid the redundant way rescans of the by-line
-  // calls above.
-
-  // Touch returning the hit slot, or -1 on miss. Counts hit/miss stats.
-  int64_t TouchSlot(uint64_t line, uint64_t now);
-
-  // Insert for a line known to be absent (callers pair this with a failed
-  // touch). Returns the evicted line, if any, and stores the filled slot.
-  std::optional<uint64_t> FillAbsent(uint64_t line, uint64_t now, uint64_t* slot);
-
-  bool SlotExclusive(uint64_t slot) const { return exclusive_[slot] != 0; }
-  void SetSlotExclusive(uint64_t slot, bool exclusive) {
-    exclusive_[slot] = exclusive ? 1 : 0;
-  }
 
   // Number of valid lines currently cached.
   uint64_t Occupancy() const;
@@ -93,33 +82,23 @@ class Cache {
   // Number of fills that ever targeted associativity set `set`.
   uint64_t FillsOfSet(uint64_t set) const { return set_fills_[set]; }
 
-  // Aggregated over all stripes; cheap enough for tests and reports, not
-  // meant for per-access use.
-  const CacheStats& stats() const;
-
-  // Number of counter stripes (power of two). The hierarchy's shard count
-  // never exceeds the stripe count of any of its caches.
-  uint32_t num_stripes() const { return stripe_mask_ + 1; }
+  const CacheStats& stats() const { return stats_; }
 
  private:
   static constexpr uint64_t kInvalidLine = ~0ull;
 
-  uint64_t SetIndex(uint64_t line) const {
-    return set_mask_ != 0 ? (line & set_mask_) : line % geometry_.NumSets();
-  }
-  CacheStats& StripeOf(uint64_t set) { return stripes_[set & stripe_mask_]; }
+  // Power-of-two set counts are required at construction, so the old
+  // `line % NumSets()` fallback is gone: set indexing is always a mask.
+  uint64_t SetIndex(uint64_t line) const { return line & set_mask_; }
   // Way index of `line` within `set`, or -1.
   int FindWay(uint64_t set, uint64_t line) const;
 
   CacheGeometry geometry_;
-  uint64_t set_mask_ = 0;     // NumSets-1 when NumSets is a power of two
-  uint64_t stripe_mask_ = 0;  // #stripes-1 (power of two)
+  uint64_t set_mask_ = 0;            // NumSets - 1
   std::vector<uint64_t> lines_;      // NumSets * ways tags, row-major by set
   std::vector<uint64_t> last_use_;   // LRU stamp per way
-  std::vector<uint8_t> exclusive_;   // coherence bit per way
   std::vector<uint64_t> set_fills_;
-  std::vector<CacheStats> stripes_;
-  mutable CacheStats agg_;  // cache for stats()
+  CacheStats stats_;
 };
 
 }  // namespace dprof

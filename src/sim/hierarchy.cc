@@ -38,222 +38,546 @@ uint32_t LatencyModel::Of(ServedBy level) const {
   return dram;
 }
 
-CacheHierarchy::DirEntry* CacheHierarchy::DirShard::Find(uint64_t line) {
-  uint64_t i = (line * 0x9e3779b97f4a7c15ull) & mask_;
-  while (true) {
-    Slot& slot = slots_[i];
-    if (slot.line == line) {
-      return &slot.entry;
-    }
-    if (slot.line == kEmpty) {
-      return nullptr;
-    }
-    i = (i + 1) & mask_;
-  }
+void CacheHierarchy::Level::Init(const CacheGeometry& geometry, int num_cores) {
+  DPROF_CHECK(geometry.ways > 0);
+  DPROF_CHECK(geometry.IsPowerOfTwoShaped());
+  ways = geometry.ways;
+  sets = geometry.NumSets();
+  set_mask = geometry.SetMask();
+  const size_t slots = static_cast<size_t>(num_cores) * sets * ways;
+  tags.assign(slots, kNoLine);
+  stamps.assign(slots, 0);
+  excl.assign(slots, 0);
 }
 
-const CacheHierarchy::DirEntry* CacheHierarchy::DirShard::Find(uint64_t line) const {
-  return const_cast<DirShard*>(this)->Find(line);
-}
-
-CacheHierarchy::DirEntry& CacheHierarchy::DirShard::GetOrCreate(uint64_t line) {
-  if (used_ * 4 >= slots_.size() * 3) {
-    Grow();
-  }
-  uint64_t i = (line * 0x9e3779b97f4a7c15ull) & mask_;
-  while (true) {
-    Slot& slot = slots_[i];
-    if (slot.line == line) {
-      return slot.entry;
-    }
-    if (slot.line == kEmpty) {
-      slot.line = line;
-      slot.entry = DirEntry();
-      ++used_;
-      return slot.entry;
-    }
-    i = (i + 1) & mask_;
-  }
-}
-
-void CacheHierarchy::DirShard::Grow() {
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{kEmpty, DirEntry()});
-  mask_ = slots_.size() - 1;
-  for (const Slot& slot : old) {
-    if (slot.line == kEmpty) {
-      continue;
-    }
-    uint64_t i = (slot.line * 0x9e3779b97f4a7c15ull) & mask_;
-    while (slots_[i].line != kEmpty) {
-      i = (i + 1) & mask_;
-    }
-    slots_[i] = slot;
-  }
-}
-
-void CacheHierarchy::DirShard::Reset() {
-  slots_.assign(1024, Slot{kEmpty, DirEntry()});
-  mask_ = slots_.size() - 1;
-  used_ = 0;
-}
-
-CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
-    : config_(config), l3_(config.l3), core_stats_(0) {
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) {
   DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 32);
   DPROF_CHECK(config.l1.line_size == config.l2.line_size &&
               config.l2.line_size == config.l3.line_size);
-  DPROF_CHECK(config.l1.line_size > 0 &&
-              (config.l1.line_size & (config.l1.line_size - 1)) == 0);
-  line_shift_ = static_cast<uint32_t>(__builtin_ctz(config.l1.line_size));
-  l1_.reserve(config.num_cores);
-  l2_.reserve(config.num_cores);
-  for (int c = 0; c < config.num_cores; ++c) {
-    l1_.emplace_back(config.l1);
-    l2_.emplace_back(config.l2);
-  }
-  // The shard width is bounded by every cache's counter-stripe width so a
-  // shard worker never writes another shard's counters.
-  uint32_t shards = 64;
-  shards = std::min(shards, l1_[0].num_stripes());
-  shards = std::min(shards, l2_[0].num_stripes());
-  shards = std::min(shards, l3_.num_stripes());
-  shard_mask_ = shards - 1;
-  dir_.resize(shards);
-  core_stats_.assign(static_cast<size_t>(config.num_cores) * shards, CoreMemStats());
+  DPROF_CHECK(config.l3.IsPowerOfTwoShaped());
+  DPROF_CHECK(config.l3.ways > 0);
+  DPROF_CHECK(config.l3_dir_ext_ways > 0);
+  line_shift_ = config_.l1.LineShift();
+
+  l1_.Init(config.l1, config.num_cores);
+  l2_.Init(config.l2, config.num_cores);
+
+  l3_ways_ = config.l3.ways;
+  l3_ext_ways_ = config.l3_dir_ext_ways;
+  l3_sets_ = config.l3.NumSets();
+  l3_set_mask_ = config.l3.SetMask();
+  l3_tags_.assign(l3_sets_ * l3_ways_, kNoLine);
+  l3_stamps_.assign(l3_sets_ * l3_ways_, 0);
+  l3_meta_.assign(l3_sets_ * l3_ways_, WayMeta());
+  l3_ext_tags_.assign(l3_sets_ * l3_ext_ways_, kNoLine);
+  l3_ext_stamps_.assign(l3_sets_ * l3_ext_ways_, 0);
+  l3_ext_meta_.assign(l3_sets_ * l3_ext_ways_, WayMeta());
+  l3_ext_count_.assign(l3_sets_, 0);
+  l3_tag_count_.assign(l3_sets_, 0);
+
+  // The shard partition must refine every level's set partition: a worker
+  // that owns shard s then owns whole L1/L2 set rows and whole L3 sets
+  // (including their embedded directory and extension bank), so concurrent
+  // shard workers never touch the same state. All set counts are powers of
+  // two, so taking the minimum guarantees the refinement.
+  uint64_t shards = 64;
+  shards = std::min(shards, l1_.sets);
+  shards = std::min(shards, l2_.sets);
+  shards = std::min(shards, l3_sets_);
+  shard_mask_ = static_cast<uint32_t>(shards - 1);
+  DPROF_CHECK((l3_set_mask_ & shard_mask_) == shard_mask_);
+  core_stats_.assign(static_cast<size_t>(config.num_cores) * shards, StatStripe());
   agg_core_stats_.resize(config.num_cores);
+  reclaims_per_shard_.assign(shards, 0);
+  backinv_per_shard_.assign(shards, 0);
 }
 
-void CacheHierarchy::InvalidateFrom(int c, uint64_t line, DirEntry* entry) {
-  const bool in_l1 = l1_[c].Remove(line);
-  const bool in_l2 = l2_[c].Remove(line);
-  if (in_l1 || in_l2) {
-    entry->invalidated_from |= 1u << c;
+int CacheHierarchy::ProbeRow(const Level& level, size_t row, uint64_t line) {
+  const uint64_t* tags = &level.tags[row];
+  for (uint32_t w = 0; w < level.ways; ++w) {
+    if (tags[w] == line) {
+      return static_cast<int>(w);
+    }
   }
-  entry->sharers &= ~(1u << c);
-  if (entry->modified_owner == c) {
-    entry->modified_owner = -1;
+  return -1;
+}
+
+void CacheHierarchy::RemoveAt(Level& level, size_t slot) {
+  level.tags[slot] = kNoLine;
+  level.stamps[slot] = 0;
+  level.excl[slot] = 0;
+}
+
+// One tag-only pass produces both the probe result and the fill candidate:
+// the matching way, or the first invalid way. On a hit the scan stops at
+// the match and touches no LRU state; on a miss the caller fills with
+// FillAt — no second walk over the tags, and the stamps column is read
+// only when a full row actually forces an LRU choice.
+CacheHierarchy::RowScan CacheHierarchy::ScanRow(const Level& level, size_t row,
+                                                uint64_t line) {
+  const uint64_t* tags = &level.tags[row];
+  RowScan scan;
+  int free = -1;
+  for (uint32_t w = 0; w < level.ways; ++w) {
+    const uint64_t tag = tags[w];
+    if (tag == line) {
+      scan.way = static_cast<int>(w);
+      return scan;
+    }
+    if (tag == kNoLine && free < 0) {
+      free = static_cast<int>(w);
+    }
+  }
+  scan.free = free;
+  return scan;
+}
+
+uint32_t CacheHierarchy::FillAt(Level& level, size_t row, const RowScan& scan,
+                                uint64_t line, uint64_t now, uint64_t* victim) {
+  uint32_t w;
+  if (scan.free >= 0) {
+    w = static_cast<uint32_t>(scan.free);
+    *victim = kNoLine;
+  } else {
+    // Row is full: pick the LRU way now (first index wins stamp ties, like
+    // the classic model).
+    const uint64_t* stamps = &level.stamps[row];
+    w = 0;
+    for (uint32_t i = 1; i < level.ways; ++i) {
+      if (stamps[i] < stamps[w]) {
+        w = i;
+      }
+    }
+    *victim = level.tags[row + w];
+  }
+  const size_t slot = row + w;
+  level.tags[slot] = line;
+  level.stamps[slot] = now;
+  level.excl[slot] = 0;
+  return w;
+}
+
+int CacheHierarchy::FindL3Slot(uint64_t set, uint64_t line) const {
+  const uint64_t* tags = &l3_tags_[set * l3_ways_];
+  uint32_t remaining = l3_tag_count_[set];
+  for (uint32_t w = 0; remaining > 0; ++w) {
+    const uint64_t tag = tags[w];
+    if (tag == kNoLine) {
+      continue;
+    }
+    if ((tag & kTagMask) == line) {
+      return static_cast<int>(w);
+    }
+    --remaining;
+  }
+  const uint64_t* ext = &l3_ext_tags_[set * l3_ext_ways_];
+  const uint32_t count = l3_ext_count_[set];
+  for (uint32_t i = 0; i < count; ++i) {
+    if (ext[i] == line) {
+      return static_cast<int>(l3_ways_ + i);
+    }
+  }
+  return -1;
+}
+
+// Like ScanRow for the L3 lattice: a tag-only walk over the tagged data
+// ways (the per-set count bounds it, so near-empty sets cost a couple of
+// compares) also yields the free fill candidate a promote needs. "Free"
+// means no *valid data*: untagged ways and in-place dir-only residues both
+// qualify — exactly the ways the classic model would have left invalid.
+CacheHierarchy::L3Scan CacheHierarchy::ScanL3(uint64_t set, uint64_t line) const {
+  const uint64_t* tags = &l3_tags_[set * l3_ways_];
+  L3Scan scan;
+  int free = -1;
+  uint32_t remaining = l3_tag_count_[set];
+  uint32_t w = 0;
+  for (; remaining > 0; ++w) {
+    const uint64_t tag = tags[w];
+    if (tag == kNoLine) {
+      if (free < 0) {
+        free = static_cast<int>(w);
+      }
+      continue;
+    }
+    --remaining;
+    const bool dir_only = tag >= kDirOnlyBit;
+    if (dir_only && free < 0) {
+      free = static_cast<int>(w);
+    }
+    if ((tag & kTagMask) == line) {
+      scan.slot = static_cast<int>(w);
+      scan.free_data = free;
+      return scan;
+    }
+  }
+  if (free < 0 && w < l3_ways_) {
+    free = static_cast<int>(w);  // every way past the last tagged one is free
+  }
+  scan.free_data = free;
+  const uint64_t* ext = &l3_ext_tags_[set * l3_ext_ways_];
+  const uint32_t count = l3_ext_count_[set];
+  for (uint32_t i = 0; i < count; ++i) {
+    if (ext[i] == line) {
+      scan.slot = static_cast<int>(l3_ways_ + i);
+      break;
+    }
+  }
+  return scan;
+}
+
+void CacheHierarchy::ReclaimExtWay(uint64_t set) {
+  const size_t ext_base = set * l3_ext_ways_;
+  const uint32_t count = l3_ext_count_[set];
+  DPROF_DCHECK(count > 0);
+  uint32_t oldest = 0;
+  for (uint32_t i = 1; i < count; ++i) {
+    if (l3_ext_stamps_[ext_base + i] < l3_ext_stamps_[ext_base + oldest]) {
+      oldest = i;
+    }
+  }
+  const uint64_t line = l3_ext_tags_[ext_base + oldest];
+  const WayMeta meta = l3_ext_meta_[ext_base + oldest];
+  const uint32_t shard = static_cast<uint32_t>(line & shard_mask_);
+  // The inclusion obligation: a tag leaving the lattice takes every private
+  // copy it tracked with it (the owner's sharer bit is always set, so a
+  // dirty owner is covered; the data itself is conceptually written back).
+  uint32_t sharers = meta.sharers;
+  while (sharers != 0) {
+    const int c = __builtin_ctz(sharers);
+    sharers &= sharers - 1;
+    const size_t row1 = l1_.RowOf(c, line);
+    const int w1 = ProbeRow(l1_, row1, line);
+    if (w1 >= 0) {
+      RemoveAt(l1_, row1 + static_cast<uint32_t>(w1));
+    }
+    const size_t row2 = l2_.RowOf(c, line);
+    const int w2 = ProbeRow(l2_, row2, line);
+    if (w2 >= 0) {
+      RemoveAt(l2_, row2 + static_cast<uint32_t>(w2));
+    }
+    if (w1 >= 0 || w2 >= 0) {
+      ++backinv_per_shard_[shard];
+    }
+  }
+  ++reclaims_per_shard_[shard];
+  RemoveExtAt(set, static_cast<int>(l3_ways_ + oldest));
+}
+
+void CacheHierarchy::RemoveExtAt(uint64_t set, int slot) {
+  const size_t ext_base = set * l3_ext_ways_;
+  const uint32_t i = static_cast<uint32_t>(slot) - l3_ways_;
+  const uint32_t last = l3_ext_count_[set] - 1;
+  if (i != last) {
+    l3_ext_tags_[ext_base + i] = l3_ext_tags_[ext_base + last];
+    l3_ext_stamps_[ext_base + i] = l3_ext_stamps_[ext_base + last];
+    l3_ext_meta_[ext_base + i] = l3_ext_meta_[ext_base + last];
+  }
+  l3_ext_tags_[ext_base + last] = kNoLine;
+  l3_ext_meta_[ext_base + last] = WayMeta();
+  l3_ext_count_[set] = static_cast<uint16_t>(last);
+}
+
+void CacheHierarchy::PushExt(uint64_t set, uint64_t line, uint64_t stamp, WayMeta meta) {
+  if (l3_ext_count_[set] == l3_ext_ways_) {
+    ReclaimExtWay(set);
+  }
+  const size_t at = set * l3_ext_ways_ + l3_ext_count_[set];
+  l3_ext_tags_[at] = line;
+  l3_ext_stamps_[at] = stamp;
+  l3_ext_meta_[at] = meta;
+  l3_ext_count_[set] = static_cast<uint16_t>(l3_ext_count_[set] + 1);
+}
+
+int CacheHierarchy::PromoteToData(uint64_t set, const L3Scan& scan, uint64_t line,
+                                  uint64_t now) {
+  const size_t set_base = set * l3_ways_;
+  int slot = scan.slot;
+  if (slot >= 0 && static_cast<uint32_t>(slot) < l3_ways_) {
+    if (l3_tags_[set_base + slot] == line) {
+      // Valid data way already: refresh recency, like a classic
+      // insert-existing.
+      l3_stamps_[set_base + slot] = now;
+      return slot;
+    }
+    if (slot == scan.free_data) {
+      // In-place dir-only residue sitting exactly where a classic fill
+      // would land (its way is the first free one): revalidate in place —
+      // the hot path of a modified line bouncing between cores. The tag
+      // count is unchanged: the way was tagged and stays tagged.
+      l3_tags_[set_base + slot] = line;
+      l3_stamps_[set_base + slot] = now;
+      return slot;
+    }
+  }
+  WayMeta meta;
+  if (slot >= 0) {
+    if (static_cast<uint32_t>(slot) >= l3_ways_) {
+      // Lift the tag out of the extension bank, closing the hole.
+      meta = l3_ext_meta_[set * l3_ext_ways_ + (static_cast<uint32_t>(slot) - l3_ways_)];
+      RemoveExtAt(set, slot);
+    } else {
+      meta = l3_meta_[set_base + slot];
+      // In-place residue elsewhere in the set: vacate its way; the fill
+      // below lands on the first free way, as the classic model would.
+      l3_tags_[set_base + slot] = kNoLine;
+      l3_meta_[set_base + slot] = WayMeta();
+      l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] - 1);
+    }
+  }
+  // Classic N-way fill over the data ways, candidate already scanned:
+  // first free way, else evict the LRU data way — whose tag (with its
+  // directory state) demotes into the extension bank instead of vanishing.
+  if (scan.free_data >= 0) {
+    slot = scan.free_data;
+    const uint64_t displaced = l3_tags_[set_base + slot];
+    if (displaced != kNoLine) {
+      // The free way carries another line's dir-only residue; displace it
+      // into the extension bank.
+      PushExt(set, displaced & kTagMask, now, l3_meta_[set_base + slot]);
+    } else {
+      l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] + 1);
+    }
+  } else {
+    slot = LruDataWay(set_base);
+    if (l3_meta_[set_base + slot].HasState()) {
+      PushExt(set, l3_tags_[set_base + slot], now, l3_meta_[set_base + slot]);
+    }
+  }
+  l3_tags_[set_base + slot] = line;
+  l3_stamps_[set_base + slot] = now;
+  l3_meta_[set_base + slot] = meta;
+  return slot;
+}
+
+// LRU over a full bank of data ways; first index wins stamp ties, like the
+// classic model.
+int CacheHierarchy::LruDataWay(size_t set_base) const {
+  const uint64_t* stamps = &l3_stamps_[set_base];
+  uint32_t lru = 0;
+  for (uint32_t w = 1; w < l3_ways_; ++w) {
+    if (stamps[w] < stamps[lru]) {
+      lru = w;
+    }
+  }
+  return static_cast<int>(lru);
+}
+
+void CacheHierarchy::InvalidateFrom(int c, uint64_t line, WayMeta* meta) {
+  const size_t row1 = l1_.RowOf(c, line);
+  const int w1 = ProbeRow(l1_, row1, line);
+  if (w1 >= 0) {
+    RemoveAt(l1_, row1 + static_cast<uint32_t>(w1));
+  }
+  const size_t row2 = l2_.RowOf(c, line);
+  const int w2 = ProbeRow(l2_, row2, line);
+  if (w2 >= 0) {
+    RemoveAt(l2_, row2 + static_cast<uint32_t>(w2));
+  }
+  if (w1 >= 0 || w2 >= 0) {
+    meta->invalidated_from |= 1u << c;
+  }
+  meta->sharers &= ~(1u << c);
+  if (meta->owner == c) {
+    meta->owner = -1;
   }
 }
 
-void CacheHierarchy::HandlePrivateEviction(int c, uint64_t victim, uint64_t now) {
-  if (l1_[c].Contains(victim) || l2_[c].Contains(victim)) {
-    return;  // still held by the other private level
+void CacheHierarchy::WriteUpgrade(int core, uint64_t line, uint64_t set, int slot,
+                                  int64_t l1_way, int64_t l2_way) {
+  if (slot < 0) {
+    // No lattice tag yet (a write upgrade racing ahead of any tracked
+    // state); materialize a bare extension tag to carry the ownership.
+    PushExt(set, line, 0, WayMeta());
+    slot = static_cast<int>(l3_ways_ + l3_ext_count_[set] - 1);
   }
-  DirEntry* entry = ShardFor(victim).Find(victim);
-  if (entry == nullptr) {
-    return;
-  }
-  entry->sharers &= ~(1u << c);
-  if (entry->modified_owner == c) {
-    // Dirty victim: write back into the shared L3.
-    entry->modified_owner = -1;
-    l3_.Insert(victim, now);
-  }
-}
-
-void CacheHierarchy::WriteUpgrade(int core, uint64_t line, DirEntry& entry, int64_t l1_slot,
-                                  int64_t l2_slot) {
-  uint32_t others = entry.sharers & ~(1u << core);
+  WayMeta* meta = MetaAt(set, slot);
+  uint32_t others = meta->sharers & ~(1u << core);
   while (others != 0) {
     const int victim_core = __builtin_ctz(others);
     others &= others - 1;
-    InvalidateFrom(victim_core, line, &entry);
+    InvalidateFrom(victim_core, line, meta);
   }
-  entry.modified_owner = static_cast<int8_t>(core);
-  entry.sharers |= 1u << core;
-  // The L3 copy is now stale; drop it so remote readers must fetch from us.
-  l3_.Remove(line);
+  meta->owner = static_cast<int8_t>(core);
+  meta->sharers |= 1u << core;
+  // The L3 data copy is now stale; mark the way dir-only in place (no tag
+  // motion) so remote readers must fetch from us, while the embedded
+  // directory state stays put. The way reads as free to later fills, which
+  // displace the residue into the extension bank only when they claim it.
+  if (static_cast<uint32_t>(slot) < l3_ways_) {
+    l3_tags_[set * l3_ways_ + slot] |= kDirOnlyBit;
+  }
   // Sole modified owner: later write hits can skip the directory entirely.
-  if (l1_slot >= 0) {
-    l1_[core].SetSlotExclusive(static_cast<uint64_t>(l1_slot), true);
+  if (l1_way >= 0) {
+    l1_.excl[l1_.RowOf(core, line) + static_cast<uint64_t>(l1_way)] = 1;
   }
-  if (l2_slot >= 0) {
-    l2_[core].SetSlotExclusive(static_cast<uint64_t>(l2_slot), true);
+  const size_t row2 = l2_.RowOf(core, line);
+  if (l2_way >= 0) {
+    l2_.excl[row2 + static_cast<uint64_t>(l2_way)] = 1;
   } else {
-    l2_[core].SetExclusive(line, true);
+    const int w2 = ProbeRow(l2_, row2, line);
+    if (w2 >= 0) {
+      l2_.excl[row2 + static_cast<uint32_t>(w2)] = 1;
+    }
   }
 }
 
-void CacheHierarchy::AccessLine(int core, uint64_t line, bool is_write, uint64_t now,
-                                ServedBy* level, bool* invalidation) {
-  *invalidation = false;
-  Cache& l1 = l1_[core];
-  Cache& l2 = l2_[core];
-
-  const int64_t l1_hit = l1.TouchSlot(line, now);
-  if (l1_hit >= 0) {
-    *level = ServedBy::kL1;
-    if (!is_write || l1.SlotExclusive(static_cast<uint64_t>(l1_hit))) {
-      return;  // read hit, or write hit on an exclusively-owned line
-    }
-    WriteUpgrade(core, line, ShardFor(line).GetOrCreate(line), l1_hit, -1);
+void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t victim,
+                                           uint64_t now) {
+  if (ProbeRow(other, other.RowOf(c, victim), victim) >= 0) {
+    return;  // still held by the other private level
+  }
+  const uint64_t set = victim & l3_set_mask_;
+  const L3Scan scan = ScanL3(set, victim);
+  if (scan.slot < 0) {
     return;
   }
-  const int64_t l2_hit = l2.TouchSlot(line, now);
-  if (l2_hit >= 0) {
-    *level = ServedBy::kL2;
-    const bool exclusive = l2.SlotExclusive(static_cast<uint64_t>(l2_hit));
-    uint64_t l1_slot = 0;
-    if (auto evicted = l1.FillAbsent(line, now, &l1_slot)) {
-      HandlePrivateEviction(core, *evicted, now);
+  WayMeta* meta = MetaAt(set, scan.slot);
+  meta->sharers &= ~(1u << c);
+  if (meta->owner == c) {
+    // Dirty victim: write back into the shared L3.
+    meta->owner = -1;
+    PromoteToData(set, scan, victim, now);
+  } else if (!meta->HasState()) {
+    // A stateless dir-only tag tracks nothing; free the way it occupies.
+    if (static_cast<uint32_t>(scan.slot) >= l3_ways_) {
+      RemoveExtAt(set, scan.slot);
+    } else {
+      const size_t slot = set * l3_ways_ + static_cast<uint32_t>(scan.slot);
+      if (l3_tags_[slot] >= kDirOnlyBit) {
+        l3_tags_[slot] = kNoLine;
+        l3_meta_[slot] = WayMeta();
+        l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] - 1);
+      }
+    }
+  }
+}
+
+template <bool kWrite>
+ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
+                                    bool* invalidation) {
+  // L1 probe: the read-hit fast path is this one row scan plus a stamp.
+  const size_t row1 = l1_.RowOf(core, line);
+  const RowScan scan1 = ScanRow(l1_, row1, line);
+  if (scan1.way >= 0) {
+    const size_t slot1 = row1 + static_cast<uint32_t>(scan1.way);
+    l1_.stamps[slot1] = now;
+    if (!kWrite || l1_.excl[slot1] != 0) {
+      return ServedBy::kL1;  // read hit, or write hit on an owned line
+    }
+    const uint64_t set = line & l3_set_mask_;
+    WriteUpgrade(core, line, set, FindL3Slot(set, line), scan1.way, -1);
+    return ServedBy::kL1;
+  }
+
+  // L2 probe; the L1 scan above already produced the L1 fill candidates.
+  const size_t row2 = l2_.RowOf(core, line);
+  const RowScan scan2 = ScanRow(l2_, row2, line);
+  if (scan2.way >= 0) {
+    const size_t slot2 = row2 + static_cast<uint32_t>(scan2.way);
+    l2_.stamps[slot2] = now;
+    const bool exclusive = l2_.excl[slot2] != 0;
+    uint64_t victim = kNoLine;
+    const uint32_t l1_way = FillAt(l1_, row1, scan1, line, now, &victim);
+    if (victim != kNoLine) {
+      HandlePrivateEviction(core, l2_, victim, now);
     }
     if (exclusive) {
-      l1.SetSlotExclusive(l1_slot, true);
-      return;  // already sole modified owner, for reads and writes alike
+      l1_.excl[row1 + l1_way] = 1;
+      return ServedBy::kL2;  // already sole modified owner, reads and writes alike
     }
-    if (is_write) {
-      WriteUpgrade(core, line, ShardFor(line).GetOrCreate(line),
-                   static_cast<int64_t>(l1_slot), l2_hit);
+    if (kWrite) {
+      const uint64_t set = line & l3_set_mask_;
+      WriteUpgrade(core, line, set, FindL3Slot(set, line),
+                   static_cast<int64_t>(l1_way), scan2.way);
     }
-    return;
+    return ServedBy::kL2;
   }
 
-  DirEntry& entry = ShardFor(line).GetOrCreate(line);
-  // Private miss. Was it caused by a remote write invalidating our copy?
-  if ((entry.invalidated_from >> core) & 1u) {
+  // Private miss: one L3 lattice scan yields the data way (if any), the
+  // embedded directory state, and the fill candidates a promote needs.
+  const uint64_t set = line & l3_set_mask_;
+  const size_t set_base = set * l3_ways_;
+  const L3Scan l3scan = ScanL3(set, line);
+  int slot = l3scan.slot;
+  WayMeta* meta = slot >= 0 ? MetaAt(set, slot) : nullptr;
+
+  // Was the miss caused by a remote write invalidating our copy?
+  if (meta != nullptr && ((meta->invalidated_from >> core) & 1u) != 0) {
     *invalidation = true;
-    entry.invalidated_from &= ~(1u << core);
+    meta->invalidated_from &= ~(1u << core);
   }
 
-  const uint32_t others = entry.sharers & ~(1u << core);
-  if (entry.modified_owner >= 0 && entry.modified_owner != core) {
-    // Dirty in another core's cache: cache-to-cache transfer. The owner
-    // writes back and keeps a shared copy; L3 picks up the data.
-    *level = ServedBy::kForeignCache;
-    l1_[entry.modified_owner].SetExclusive(line, false);
-    l2_[entry.modified_owner].SetExclusive(line, false);
-    entry.modified_owner = -1;
-    l3_.Insert(line, now);
-  } else if (l3_.Touch(line, now)) {
-    *level = ServedBy::kL3;
+  const uint32_t others = meta != nullptr ? meta->sharers & ~(1u << core) : 0;
+  ServedBy level;
+  bool promote = true;  // every outcome but an L3 data hit fills a data way
+  if (meta != nullptr && meta->owner >= 0 && meta->owner != core) {
+    // Dirty in another core's cache: cache-to-cache transfer. The L3 picks
+    // up the written-back data via the promote below.
+    level = ServedBy::kForeignCache;
+    const int owner = meta->owner;
+    meta->owner = -1;
+    if (!kWrite) {
+      // The owner keeps a shared, no-longer-exclusive copy. (On a write the
+      // upgrade below invalidates the owner's copies outright, so clearing
+      // their exclusive bits first would be wasted probes.)
+      const size_t orow1 = l1_.RowOf(owner, line);
+      const int ow1 = ProbeRow(l1_, orow1, line);
+      if (ow1 >= 0) {
+        l1_.excl[orow1 + static_cast<uint32_t>(ow1)] = 0;
+      }
+      const size_t orow2 = l2_.RowOf(owner, line);
+      const int ow2 = ProbeRow(l2_, orow2, line);
+      if (ow2 >= 0) {
+        l2_.excl[orow2 + static_cast<uint32_t>(ow2)] = 0;
+      }
+    }
+  } else if (slot >= 0 && static_cast<uint32_t>(slot) < l3_ways_ &&
+             l3_tags_[set_base + slot] == line) {
+    level = ServedBy::kL3;
+    l3_stamps_[set_base + slot] = now;
+    promote = false;
   } else if (others != 0) {
     // Clean copy only in a sibling's private cache: cache-to-cache transfer.
-    *level = ServedBy::kForeignCache;
-    l3_.Insert(line, now);
+    level = ServedBy::kForeignCache;
   } else {
-    *level = ServedBy::kDram;
-    l3_.Insert(line, now);
+    level = ServedBy::kDram;
+  }
+  if (promote) {
+    slot = PromoteToData(set, l3scan, line, now);
   }
 
-  uint64_t l2_slot = 0;
-  if (auto evicted = l2.FillAbsent(line, now, &l2_slot)) {
-    HandlePrivateEviction(core, *evicted, now);
+  uint64_t victim = kNoLine;
+  const uint32_t l2_way = FillAt(l2_, row2, scan2, line, now, &victim);
+  if (victim != kNoLine) {
+    HandlePrivateEviction(core, l1_, victim, now);
   }
-  uint64_t l1_slot = 0;
-  if (auto evicted = l1.FillAbsent(line, now, &l1_slot)) {
-    HandlePrivateEviction(core, *evicted, now);
+  victim = kNoLine;
+  const uint32_t l1_way = FillAt(l1_, row1, scan1, line, now, &victim);
+  if (victim != kNoLine) {
+    HandlePrivateEviction(core, l2_, victim, now);
   }
-  entry.sharers |= 1u << core;
 
-  if (is_write) {
-    WriteUpgrade(core, line, entry, static_cast<int64_t>(l1_slot),
-                 static_cast<int64_t>(l2_slot));
+  // The victim handling above may have moved this line's tag within its set
+  // (a dirty victim promoting into the same set can evict and demote our
+  // data way), so re-find before touching the directory state.
+  if (TagAt(set, slot) != line) {
+    slot = FindL3Slot(set, line);
+    if (slot < 0) {
+      PushExt(set, line, now, WayMeta());
+      slot = static_cast<int>(l3_ways_ + l3_ext_count_[set] - 1);
+    }
   }
+  MetaAt(set, slot)->sharers |= 1u << core;
+
+  if (kWrite) {
+    WriteUpgrade(core, line, set, slot, static_cast<int64_t>(l1_way),
+                 static_cast<int64_t>(l2_way));
+  }
+  return level;
 }
 
-AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_write,
-                                    uint64_t now) {
+template <bool kWrite>
+AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, uint64_t now) {
   DPROF_DCHECK(core >= 0 && core < config_.num_cores);
   DPROF_DCHECK(size > 0);
   AccessResult result;
@@ -261,9 +585,8 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
   const uint64_t last = (addr + size - 1) >> line_shift_;
 
   for (uint64_t line = first; line <= last; ++line) {
-    ServedBy level = ServedBy::kL1;
     bool invalidation = false;
-    AccessLine(core, line, is_write, now, &level, &invalidation);
+    const ServedBy level = AccessLine<kWrite>(core, line, now, &invalidation);
 
     result.latency += config_.latency.Of(level);
     result.level = std::max(result.level, level);
@@ -271,14 +594,8 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
     result.invalidation = result.invalidation || invalidation;
     ++result.lines;
 
-    CoreMemStats& stats = StatsFor(core, line);
-    ++stats.accesses;
+    StatStripe& stats = StatsFor(core, line);
     ++stats.served[static_cast<int>(level)];
-    if (level == ServedBy::kL1) {
-      ++stats.l1_hits;
-    } else {
-      ++stats.l1_misses;
-    }
     if (invalidation) {
       ++stats.invalidation_misses;
     }
@@ -286,58 +603,125 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, bool is_
   return result;
 }
 
+template AccessResult CacheHierarchy::Access<false>(int core, Addr addr, uint32_t size,
+                                                    uint64_t now);
+template AccessResult CacheHierarchy::Access<true>(int core, Addr addr, uint32_t size,
+                                                   uint64_t now);
+
 const CoreMemStats& CacheHierarchy::core_stats(int core) const {
   CoreMemStats& agg = agg_core_stats_[core];
   agg = CoreMemStats();
   const uint32_t shards = shard_mask_ + 1;
   for (uint32_t s = 0; s < shards; ++s) {
-    const CoreMemStats& part = core_stats_[static_cast<uint64_t>(core) * shards + s];
-    agg.accesses += part.accesses;
-    agg.l1_hits += part.l1_hits;
-    agg.l1_misses += part.l1_misses;
+    const StatStripe& part = core_stats_[static_cast<uint64_t>(core) * shards + s];
     for (int i = 0; i < 5; ++i) {
       agg.served[i] += part.served[i];
     }
     agg.invalidation_misses += part.invalidation_misses;
   }
+  agg.l1_hits = agg.served[static_cast<int>(ServedBy::kL1)];
+  agg.accesses = agg.l1_hits + agg.served[1] + agg.served[2] + agg.served[3] + agg.served[4];
+  agg.l1_misses = agg.accesses - agg.l1_hits;
   return agg;
+}
+
+HierarchyTotals CacheHierarchy::Totals() const {
+  HierarchyTotals totals;
+  for (int c = 0; c < config_.num_cores; ++c) {
+    const CoreMemStats& stats = core_stats(c);
+    totals.accesses += stats.accesses;
+    totals.l1_hits += stats.l1_hits;
+    totals.l1_misses += stats.l1_misses;
+    for (int i = 0; i < 5; ++i) {
+      totals.served[i] += stats.served[i];
+    }
+    totals.invalidation_misses += stats.invalidation_misses;
+  }
+  totals.tag_reclaims = tag_reclaims();
+  totals.back_invalidations = back_invalidations();
+  return totals;
+}
+
+uint64_t CacheHierarchy::tag_reclaims() const {
+  uint64_t total = 0;
+  for (const uint64_t n : reclaims_per_shard_) {
+    total += n;
+  }
+  return total;
+}
+
+uint64_t CacheHierarchy::back_invalidations() const {
+  uint64_t total = 0;
+  for (const uint64_t n : backinv_per_shard_) {
+    total += n;
+  }
+  return total;
+}
+
+uint64_t CacheHierarchy::L3DataLines() const {
+  uint64_t n = 0;
+  for (uint64_t set = 0; set < l3_sets_; ++set) {
+    const size_t base = set * l3_ways_;
+    for (uint32_t w = 0; w < l3_ways_; ++w) {
+      if (l3_tags_[base + w] < kDirOnlyBit) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+bool CacheHierarchy::L3HasTag(Addr addr) const {
+  const uint64_t line = addr >> line_shift_;
+  return FindL3Slot(line & l3_set_mask_, line) >= 0;
 }
 
 bool CacheHierarchy::InPrivateCache(int core, Addr addr) const {
   const uint64_t line = addr >> line_shift_;
-  return l1_[core].Contains(line) || l2_[core].Contains(line);
+  return ProbeRow(l1_, l1_.RowOf(core, line), line) >= 0 ||
+         ProbeRow(l2_, l2_.RowOf(core, line), line) >= 0;
 }
 
 ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
   const uint64_t line = addr >> line_shift_;
-  if (l1_[core].Contains(line)) {
+  if (ProbeRow(l1_, l1_.RowOf(core, line), line) >= 0) {
     return ServedBy::kL1;
   }
-  if (l2_[core].Contains(line)) {
+  if (ProbeRow(l2_, l2_.RowOf(core, line), line) >= 0) {
     return ServedBy::kL2;
   }
-  const DirEntry* entry = ShardFor(line).Find(line);
-  if (entry != nullptr && entry->modified_owner >= 0 && entry->modified_owner != core) {
+  const uint64_t set = line & l3_set_mask_;
+  const int slot = FindL3Slot(set, line);
+  const WayMeta* meta =
+      slot >= 0 ? const_cast<CacheHierarchy*>(this)->MetaAt(set, slot) : nullptr;
+  if (meta != nullptr && meta->owner >= 0 && meta->owner != core) {
     return ServedBy::kForeignCache;
   }
-  if (l3_.Contains(line)) {
+  if (slot >= 0 && static_cast<uint32_t>(slot) < l3_ways_ &&
+      l3_tags_[set * l3_ways_ + slot] == line) {
     return ServedBy::kL3;
   }
-  if (entry != nullptr && (entry->sharers & ~(1u << core)) != 0) {
+  if (meta != nullptr && (meta->sharers & ~(1u << core)) != 0) {
     return ServedBy::kForeignCache;
   }
   return ServedBy::kDram;
 }
 
 void CacheHierarchy::FlushAll() {
-  for (int c = 0; c < config_.num_cores; ++c) {
-    l1_[c] = Cache(config_.l1);
-    l2_[c] = Cache(config_.l2);
-  }
-  l3_ = Cache(config_.l3);
-  for (DirShard& shard : dir_) {
-    shard.Reset();
-  }
+  std::fill(l1_.tags.begin(), l1_.tags.end(), kNoLine);
+  std::fill(l1_.stamps.begin(), l1_.stamps.end(), 0);
+  std::fill(l1_.excl.begin(), l1_.excl.end(), 0);
+  std::fill(l2_.tags.begin(), l2_.tags.end(), kNoLine);
+  std::fill(l2_.stamps.begin(), l2_.stamps.end(), 0);
+  std::fill(l2_.excl.begin(), l2_.excl.end(), 0);
+  std::fill(l3_tags_.begin(), l3_tags_.end(), kNoLine);
+  std::fill(l3_stamps_.begin(), l3_stamps_.end(), 0);
+  std::fill(l3_meta_.begin(), l3_meta_.end(), WayMeta());
+  std::fill(l3_ext_tags_.begin(), l3_ext_tags_.end(), kNoLine);
+  std::fill(l3_ext_stamps_.begin(), l3_ext_stamps_.end(), 0);
+  std::fill(l3_ext_meta_.begin(), l3_ext_meta_.end(), WayMeta());
+  std::fill(l3_ext_count_.begin(), l3_ext_count_.end(), 0);
+  std::fill(l3_tag_count_.begin(), l3_tag_count_.end(), 0);
 }
 
 }  // namespace dprof

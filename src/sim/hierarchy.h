@@ -1,18 +1,43 @@
-// Multicore coherent cache hierarchy: private L1/L2 per core, shared L3,
-// DRAM, and an MSI-style directory tracking which private caches hold each
-// line and who last wrote it.
+// Multicore coherent cache hierarchy: private L1/L2 per core, a shared L3
+// whose tag lattice embeds the MSI-style coherence directory, and DRAM.
 //
 // This is the hardware substrate the paper ran on (a 16-core AMD machine).
 // It supplies everything DProf observes through the PMU: the cache level that
 // served each access, access latency, and (for the simulator-side ground
 // truth used in tests) whether a miss was caused by a remote invalidation.
 //
-// Sharding: every piece of hierarchy state — the L1/L2/L3 associativity sets,
-// the directory, and the striped counters — partitions cleanly by the low
-// bits of the line number (victims of an eviction share their evictor's set,
-// hence its shard). num_shards() reports the partition width; the parallel
-// engine drives one commit worker per shard, and two accesses whose lines
-// fall in different shards may be applied concurrently.
+// Layout: the access path is a flattened tag lattice, not a stack of cache
+// objects. Private L1/L2 tags for all cores live in contiguous
+// structure-of-arrays columns (tags / LRU stamps / exclusive bits), so one
+// access is a slot-based walk: probe the core's L1 set row, then its L2 set
+// row, then the line's L3 set — three bounded scans over packed tags with no
+// hashing and no per-level object indirection.
+//
+// The L3 is an inclusive tag lattice with the coherence directory (sharers
+// mask, modified owner, invalidated-from set) embedded in its way metadata.
+// Each L3 set has `ways` data ways — which behave exactly like a classic
+// N-way LRU data array — plus a compacted bank of directory-extension ways
+// (`HierarchyConfig::l3_dir_ext_ways`, the hardware analogue of a snoop
+// filter sized beyond the data array). A line whose data leaves the L3 (a
+// capacity eviction, or a write upgrade making the L3 copy stale) keeps its
+// tag and directory state in an extension way, so every line held by any
+// private cache always has a lattice tag. The one inclusion obligation lives
+// in a single place, ReclaimExtWay: when a set's extension bank overflows,
+// the least-recently-stamped extension tag is dropped and every private copy
+// it tracked is back-invalidated. tag_reclaims()/back_invalidations() count
+// those events; the registered scenarios never trigger them, which is what
+// makes the lattice's aggregate stats bit-identical to the unbounded
+// hash-directory model this replaced.
+//
+// Sharding: every piece of hierarchy state — the L1/L2 set rows, and the L3
+// sets with their embedded directory — partitions by the low bits of the
+// line number, and the shard width divides every level's set count, so the
+// shard partition agrees with (refines into) the L3 set partition: a shard
+// worker owns whole L3 sets, including their directory state. Victims of an
+// eviction and back-invalidation targets share their evictor's set, hence
+// its shard. num_shards() reports the partition width; the parallel engine
+// drives one commit worker per shard, and two accesses whose lines fall in
+// different shards may be applied concurrently.
 
 #ifndef DPROF_SRC_SIM_HIERARCHY_H_
 #define DPROF_SRC_SIM_HIERARCHY_H_
@@ -60,6 +85,11 @@ struct HierarchyConfig {
   CacheGeometry l1{32 * 1024, 64, 8};
   CacheGeometry l2{512 * 1024, 64, 16};
   CacheGeometry l3{16 * 1024 * 1024, 64, 16};
+  // Directory-extension ways per L3 set: tags whose data left the L3 keep
+  // their directory state here. Overflow is the inclusion obligation (the
+  // oldest extension tag is reclaimed and its private copies
+  // back-invalidated); sized so registered workloads never overflow.
+  uint32_t l3_dir_ext_ways = 32;
   LatencyModel latency;
 };
 
@@ -72,6 +102,19 @@ struct CoreMemStats {
   uint64_t invalidation_misses = 0;
 };
 
+// CoreMemStats summed over all cores, plus the lattice's inclusion-
+// obligation counters: the simulator-side ground truth fingerprint of a run
+// (stats-equivalence tests, `dprof run --json`'s "hierarchy" block).
+struct HierarchyTotals {
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t served[5] = {0, 0, 0, 0, 0};
+  uint64_t invalidation_misses = 0;
+  uint64_t tag_reclaims = 0;
+  uint64_t back_invalidations = 0;
+};
+
 class CacheHierarchy {
  public:
   explicit CacheHierarchy(const HierarchyConfig& config);
@@ -80,13 +123,24 @@ class CacheHierarchy {
   CacheHierarchy& operator=(const CacheHierarchy&) = delete;
 
   // Performs an access to [addr, addr + size) by `core` at time `now`.
-  AccessResult Access(int core, Addr addr, uint32_t size, bool is_write, uint64_t now);
+  // The write-ness of an access is a template parameter so the read path —
+  // the overwhelmingly common case — compiles to a single predictable probe
+  // with no ownership checks.
+  template <bool kWrite>
+  AccessResult Access(int core, Addr addr, uint32_t size, uint64_t now);
+
+  // Runtime-dispatch form for callers that carry the write bit in data.
+  AccessResult Access(int core, Addr addr, uint32_t size, bool is_write, uint64_t now) {
+    return is_write ? Access<true>(core, addr, size, now)
+                    : Access<false>(core, addr, size, now);
+  }
 
   const HierarchyConfig& config() const { return config_; }
   uint32_t line_size() const { return config_.l1.line_size; }
 
   // Width of the line-number partition (power of two). Accesses to lines in
-  // different shards touch disjoint state.
+  // different shards touch disjoint state; the width divides every level's
+  // set count, so a shard owns whole L3 sets (and their embedded directory).
   uint32_t num_shards() const { return shard_mask_ + 1; }
   uint32_t ShardOf(Addr addr) const {
     return static_cast<uint32_t>((addr >> line_shift_) & shard_mask_);
@@ -96,78 +150,191 @@ class CacheHierarchy {
   bool InPrivateCache(int core, Addr addr) const;
   ServedBy ProbeLevel(int core, Addr addr) const;  // level a read would hit now
   const CoreMemStats& core_stats(int core) const;
-  const Cache& l1(int core) const { return l1_[core]; }
-  const Cache& l2(int core) const { return l2_[core]; }
-  const Cache& l3() const { return l3_; }
+  HierarchyTotals Totals() const;
 
-  // Drops every cached line (used between benchmark phases).
+  // Inclusion-obligation ground truth: lattice tags reclaimed from
+  // overflowing extension banks, and private-cache copies those reclaims
+  // back-invalidated. Zero on every registered scenario (the
+  // stats-equivalence envelope).
+  uint64_t tag_reclaims() const;
+  uint64_t back_invalidations() const;
+
+  // Lattice introspection for tests: number of L3 data ways in use, and
+  // whether `addr`'s line holds any lattice tag (data or extension).
+  uint64_t L3DataLines() const;
+  bool L3HasTag(Addr addr) const;
+
+  // Drops every cached line and all embedded directory state (used between
+  // benchmark phases). Counters survive.
   void FlushAll();
 
  private:
-  struct DirEntry {
+  static constexpr uint64_t kNoLine = ~0ull;
+  // High tag bit marking an in-place dir-only residue in a data way: the
+  // line's data left the L3 (write upgrade), but its tag and embedded
+  // directory state stay put. Such a way reads as free to fills — exactly
+  // the way the classic model would have left invalid — and the residue is
+  // displaced into the extension bank only when a fill claims the way.
+  // Line numbers are < 2^58, so the bit never collides (kNoLine has it set,
+  // which makes "free way" a single unsigned compare).
+  static constexpr uint64_t kDirOnlyBit = 1ull << 63;
+  static constexpr uint64_t kTagMask = kDirOnlyBit - 1;
+
+  // One private cache level (L1 or L2) for all cores, SoA: a core's set row
+  // is `ways` contiguous tags.
+  struct Level {
+    uint32_t ways = 0;
+    uint64_t sets = 0;
+    uint64_t set_mask = 0;
+    std::vector<uint64_t> tags;    // [core][set][way]; kNoLine = invalid
+    std::vector<uint64_t> stamps;  // LRU stamp per way
+    std::vector<uint8_t> excl;     // exclusive-owner bit per way
+
+    void Init(const CacheGeometry& geometry, int num_cores);
+    size_t RowOf(int core, uint64_t line) const {
+      return (static_cast<uint64_t>(core) * sets + (line & set_mask)) * ways;
+    }
+  };
+
+  // Directory metadata embedded in every L3 lattice way.
+  struct WayMeta {
     uint32_t sharers = 0;           // cores whose private caches may hold the line
     uint32_t invalidated_from = 0;  // cores that lost the line to a remote write
-    int8_t modified_owner = -1;     // core with a dirty copy, or -1
+    int8_t owner = -1;              // core with a dirty copy, or -1
+
+    bool HasState() const {
+      return sharers != 0 || invalidated_from != 0 || owner >= 0;
+    }
   };
 
-  // One open-addressing hash shard of the directory. Entries are never
-  // erased (only FlushAll clears), so lookups need no tombstone handling.
-  class DirShard {
-   public:
-    DirShard() { Reset(); }
-
-    DirEntry* Find(uint64_t line);
-    const DirEntry* Find(uint64_t line) const;
-    DirEntry& GetOrCreate(uint64_t line);
-    void Reset();
-
-   private:
-    struct Slot {
-      uint64_t line;
-      DirEntry entry;
-    };
-    static constexpr uint64_t kEmpty = ~0ull;
-
-    void Grow();
-
-    std::vector<Slot> slots_;
-    uint64_t mask_ = 0;
-    uint64_t used_ = 0;
+  // Result of one fused probe+fill scan over a private set row: the
+  // matching way (probe), or the first invalid way when there is no match —
+  // one tag-only walk serves both, and LRU stamps are read only when a full
+  // row forces an eviction (inside FillAt).
+  struct RowScan {
+    int way = -1;   // matching way, or -1
+    int free = -1;  // first invalid way (miss only)
+  };
+  // Same for an L3 set: the matching slot (data or extension), plus the
+  // free data way. When the match is a data way the scan returns early and
+  // free_data is unset — no caller needs it then.
+  struct L3Scan {
+    int slot = -1;
+    int free_data = -1;
   };
 
-  DirShard& ShardFor(uint64_t line) { return dir_[line & shard_mask_]; }
-  const DirShard& ShardFor(uint64_t line) const { return dir_[line & shard_mask_]; }
+  static RowScan ScanRow(const Level& level, size_t row, uint64_t line);
+  // Fills `line` using the candidates of a missing ScanRow. Returns the way
+  // index; *victim receives the evicted line or kNoLine.
+  static uint32_t FillAt(Level& level, size_t row, const RowScan& scan, uint64_t line,
+                         uint64_t now, uint64_t* victim);
 
-  // Serves a single line access; returns its level and whether the private
-  // miss was caused by an earlier remote invalidation.
-  void AccessLine(int core, uint64_t line, bool is_write, uint64_t now, ServedBy* level,
-                  bool* invalidation);
+  // Slot of `line` within L3 set `set` (data ways then live extension
+  // ways), as an offset from the set base; -1 if the lattice has no tag.
+  int FindL3Slot(uint64_t set, uint64_t line) const;
+  L3Scan ScanL3(uint64_t set, uint64_t line) const;
 
-  // Grants `core` exclusive-modified ownership of a line it already holds
-  // in its private caches. Slots are the line's L1/L2 slots when the caller
-  // knows them (-1 falls back to a by-line scan for L2, no-op for L1).
-  void WriteUpgrade(int core, uint64_t line, DirEntry& entry, int64_t l1_slot,
-                    int64_t l2_slot);
+  // Serves a single line access. Returns the level; sets *invalidation.
+  template <bool kWrite>
+  ServedBy AccessLine(int core, uint64_t line, uint64_t now, bool* invalidation);
 
-  // Removes `line` from core `c`'s private caches, updating the directory.
-  void InvalidateFrom(int c, uint64_t line, DirEntry* entry);
+  // Ensures `line` occupies an L3 data way (stamp = now), preserving its
+  // directory state; mirrors a classic LRU insert on the data ways and
+  // demotes an evicted victim's tag into the extension bank. Returns the
+  // line's data-way slot offset.
+  int PromoteToData(uint64_t set, const L3Scan& scan, uint64_t line, uint64_t now);
 
-  // Handles a victim evicted from one of core `c`'s private caches.
-  void HandlePrivateEviction(int c, uint64_t victim, uint64_t now);
+  // Appends a tag to the set's extension bank, reclaiming the oldest
+  // extension tag first if the bank is full.
+  void PushExt(uint64_t set, uint64_t line, uint64_t stamp, WayMeta meta);
+  // Drops live extension way `slot`, compacting the bank.
+  void RemoveExtAt(uint64_t set, int slot);
 
-  CoreMemStats& StatsFor(int core, uint64_t line) {
+  // LRU over a full bank of data ways (stamp pass, first index wins ties).
+  int LruDataWay(size_t set_base) const;
+
+  // Directory metadata of unified slot `slot` (data way or ways+ext index).
+  WayMeta* MetaAt(uint64_t set, int slot) {
+    return static_cast<uint32_t>(slot) < l3_ways_
+               ? &l3_meta_[set * l3_ways_ + static_cast<uint32_t>(slot)]
+               : &l3_ext_meta_[set * l3_ext_ways_ +
+                               (static_cast<uint32_t>(slot) - l3_ways_)];
+  }
+  // Raw tag at unified slot `slot` (data tags may carry kDirOnlyBit).
+  uint64_t TagAt(uint64_t set, int slot) const {
+    return static_cast<uint32_t>(slot) < l3_ways_
+               ? l3_tags_[set * l3_ways_ + static_cast<uint32_t>(slot)]
+               : l3_ext_tags_[set * l3_ext_ways_ +
+                              (static_cast<uint32_t>(slot) - l3_ways_)];
+  }
+
+  // THE inclusion obligation: drops the least-recently-stamped extension tag
+  // of the set and back-invalidates every private copy it tracked.
+  void ReclaimExtWay(uint64_t set);
+
+  // Grants `core` exclusive-modified ownership of a line it already holds in
+  // its private caches: invalidates other sharers, demotes the (now stale)
+  // L3 data copy, and sets the private exclusive bits. `l1_way`/`l2_way` are
+  // the line's way slots when the caller knows them (-1 probes L2 by line).
+  void WriteUpgrade(int core, uint64_t line, uint64_t set, int slot, int64_t l1_way,
+                    int64_t l2_way);
+
+  // Removes `line` from core `c`'s private caches, updating `meta`.
+  void InvalidateFrom(int c, uint64_t line, WayMeta* meta);
+
+  // Handles a victim evicted from one of core `c`'s private caches; `other`
+  // is the private level that might still hold it.
+  void HandlePrivateEviction(int c, const Level& other, uint64_t victim, uint64_t now);
+
+  // Way index of `line` in the row, or -1.
+  static int ProbeRow(const Level& level, size_t row, uint64_t line);
+  static void RemoveAt(Level& level, size_t slot);
+
+  // Striped counter cell: only the five served-level counts and the
+  // invalidation count are stored; accesses / l1_hits / l1_misses are
+  // derived sums, so the hot path does one indexed increment instead of
+  // three stores into a wider struct.
+  struct StatStripe {
+    uint64_t served[5] = {0, 0, 0, 0, 0};
+    uint64_t invalidation_misses = 0;
+  };
+
+  StatStripe& StatsFor(int core, uint64_t line) {
     return core_stats_[static_cast<uint64_t>(core) * (shard_mask_ + 1) + (line & shard_mask_)];
   }
 
   HierarchyConfig config_;
   uint32_t shard_mask_ = 0;  // num_shards-1
   uint32_t line_shift_ = 6;  // log2(line size); lines are power-of-two sized
-  std::vector<Cache> l1_;
-  std::vector<Cache> l2_;
-  Cache l3_;
-  std::vector<DirShard> dir_;
-  std::vector<CoreMemStats> core_stats_;  // striped: [core * num_shards + shard]
+
+  Level l1_;
+  Level l2_;
+
+  // The L3 tag lattice. Data ways are dense per-set rows (`l3_ways_` tags,
+  // one or two host cache lines) — the hot scans touch only these. The
+  // compacted extension bank lives in separate side arrays (`l3_ext_ways_`
+  // slots per set, the first `l3_ext_count_[set]` live), touched only when
+  // a tag actually moves out of the data row. A unified slot index
+  // addresses both: data way w, or l3_ways_ + ext index.
+  uint32_t l3_ways_ = 0;
+  uint32_t l3_ext_ways_ = 0;
+  uint64_t l3_sets_ = 0;
+  uint64_t l3_set_mask_ = 0;
+  std::vector<uint64_t> l3_tags_;
+  std::vector<uint64_t> l3_stamps_;
+  std::vector<WayMeta> l3_meta_;
+  std::vector<uint64_t> l3_ext_tags_;
+  std::vector<uint64_t> l3_ext_stamps_;
+  std::vector<WayMeta> l3_ext_meta_;
+  std::vector<uint16_t> l3_ext_count_;
+  std::vector<uint16_t> l3_tag_count_;  // tagged data ways per set (valid + residue)
+
+  std::vector<StatStripe> core_stats_;  // striped: [core * num_shards + shard]
   mutable std::vector<CoreMemStats> agg_core_stats_;  // cache for core_stats()
+  // Inclusion counters, striped by shard so concurrent apply workers (which
+  // own disjoint shards) never write the same slot.
+  std::vector<uint64_t> reclaims_per_shard_;
+  std::vector<uint64_t> backinv_per_shard_;
 };
 
 }  // namespace dprof

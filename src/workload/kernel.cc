@@ -146,6 +146,12 @@ KernelEnv::KernelEnv(Machine* machine, SlabAllocator* allocator)
     const Addr word = allocator_->RegisterStatic(types_.futex, 64);
     futex_buckets_.push_back(std::make_unique<SimLock>("futex lock", word));
   }
+  // Packets (skbuff bookkeeping + payload buffers) travel through the
+  // transmit-queue mailboxes, whose staged pushes only flush at epoch
+  // boundaries: studying these types warrants tight epochs.
+  machine_->NoteMailboxFedType(types_.skbuff);
+  machine_->NoteMailboxFedType(types_.skbuff_fclone);
+  machine_->NoteMailboxFedType(types_.size1024);
   machine_->AddEpochHook(this);
 }
 

@@ -20,6 +20,29 @@ TEST(CacheGeometryTest, Derivations) {
   EXPECT_EQ(g.SetOf(65), 1u);
 }
 
+// Address math is shift/mask: the helpers must agree with the arithmetic
+// definitions on power-of-two shapes, which construction enforces.
+TEST(CacheGeometryTest, ShiftMaskFormsMatchArithmetic) {
+  const CacheGeometry shapes[] = {
+      {1024, 64, 2}, {32 * 1024, 64, 8}, {16384, 128, 4}, {512, 64, 1}};
+  for (const CacheGeometry& g : shapes) {
+    ASSERT_TRUE(g.IsPowerOfTwoShaped());
+    EXPECT_EQ(1u << g.LineShift(), g.line_size);
+    EXPECT_EQ(g.SetMask(), g.NumSets() - 1);
+    for (const Addr addr : {0ull, 63ull, 64ull, 4097ull, 0xdeadbeefull}) {
+      EXPECT_EQ(g.LineOf(addr), addr / g.line_size);
+      EXPECT_EQ(g.SetOf(g.LineOf(addr)), g.LineOf(addr) % g.NumSets());
+    }
+  }
+}
+
+TEST(CacheGeometryTest, NonPowerOfTwoShapesAreDetected) {
+  // 24 KiB / 64 B / 8 ways = 48 sets: not a power of two, so not a valid
+  // backing geometry (Cache and CacheHierarchy refuse it at construction).
+  const CacheGeometry g{24 * 1024, 64, 8};
+  EXPECT_FALSE(g.IsPowerOfTwoShaped());
+}
+
 TEST(CacheTest, MissThenHit) {
   Cache cache(SmallGeometry());
   EXPECT_FALSE(cache.Touch(5, 1));

@@ -140,6 +140,99 @@ TEST(HierarchyTest, ServedByNames) {
   EXPECT_STREQ(ServedByName(ServedBy::kDram), "DRAM");
 }
 
+// ---------------------------------------------------------------------------
+// Inclusive tag lattice: the embedded directory and its inclusion obligation.
+// ---------------------------------------------------------------------------
+
+// A tiny lattice (one extension way per L3 set) so overflow is easy to force.
+HierarchyConfig TinyLatticeConfig() {
+  HierarchyConfig config = SmallConfig(4);
+  config.l3_dir_ext_ways = 1;
+  return config;
+}
+
+TEST(HierarchyTest, ModifiedLineKeepsLatticeTagWithoutData) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0xB000, 8, true, 1);  // modified at core 0: L3 data is stale
+  EXPECT_TRUE(h.L3HasTag(0xB000));  // ...but the directory tag stays embedded
+  EXPECT_EQ(h.ProbeLevel(1, 0xB000), ServedBy::kForeignCache);
+}
+
+TEST(HierarchyTest, ExtensionOverflowBackInvalidatesPrivateCopies) {
+  const HierarchyConfig config = TinyLatticeConfig();
+  CacheHierarchy h(config);
+  // Two lines in the same L3 set, both written (each holds a dir-only tag:
+  // one in its data way as an in-place residue, the second likewise). Force
+  // residue displacement by filling every data way of the set with fresh
+  // lines: displaced residues overflow the single extension way, so the
+  // oldest tag is reclaimed and core 0's private copies vanish with it.
+  const uint64_t set_span = config.l3.NumSets() * config.l3.line_size;
+  const Addr a = 0x10000;
+  const Addr b = a + set_span;
+  h.Access(0, a, 8, true, 1);
+  h.Access(0, b, 8, true, 2);
+  ASSERT_TRUE(h.InPrivateCache(0, a));
+  ASSERT_EQ(h.tag_reclaims(), 0u);
+  for (uint64_t i = 2; i <= 1 + config.l3.ways; ++i) {
+    h.Access(1, a + i * set_span, 8, false, 10 + i);
+  }
+  EXPECT_GT(h.tag_reclaims(), 0u);
+  EXPECT_GT(h.back_invalidations(), 0u);
+  // Inclusion invariant: a privately-held line always has a lattice tag.
+  EXPECT_TRUE(!h.InPrivateCache(0, a) || h.L3HasTag(a));
+  EXPECT_TRUE(!h.InPrivateCache(0, b) || h.L3HasTag(b));
+  // The reclaimed tag took its private copies with it.
+  EXPECT_FALSE(h.InPrivateCache(0, a));
+}
+
+TEST(HierarchyTest, DataEvictionWithLiveSharersKeepsDirectoryTag) {
+  HierarchyConfig config = SmallConfig();
+  CacheHierarchy h(config);
+  // Cores 0 and 1 share a line; stream enough distinct lines through its L3
+  // set to evict its data. The directory tag must survive (demoted, not
+  // dropped), so a third core still sees a foreign copy rather than DRAM.
+  const uint64_t set_span = config.l3.NumSets() * config.l3.line_size;
+  const Addr shared = 0x40000;
+  h.Access(0, shared, 8, false, 1);
+  h.Access(1, shared, 8, false, 2);
+  for (uint64_t i = 1; i <= config.l3.ways; ++i) {
+    h.Access(2, shared + i * set_span, 8, false, 2 + i);
+  }
+  ASSERT_EQ(h.ProbeLevel(3, shared), ServedBy::kForeignCache);
+  EXPECT_TRUE(h.InPrivateCache(0, shared));
+  EXPECT_TRUE(h.InPrivateCache(1, shared));
+  EXPECT_EQ(h.tag_reclaims(), 0u);
+  const AccessResult r = h.Access(3, shared, 8, false, 100);
+  EXPECT_EQ(r.level, ServedBy::kForeignCache);
+}
+
+TEST(HierarchyTest, FlushAllResetsEmbeddedDirectoryState) {
+  CacheHierarchy h(SmallConfig());
+  h.Access(0, 0xC000, 8, false, 1);
+  h.Access(1, 0xC000, 8, true, 2);  // dir state: owner=1, invalidated_from={0}
+  h.FlushAll();
+  EXPECT_FALSE(h.L3HasTag(0xC000));
+  EXPECT_EQ(h.L3DataLines(), 0u);
+  // No stale invalidated-from bit: the next miss is a plain DRAM miss.
+  const AccessResult r = h.Access(0, 0xC000, 8, false, 3);
+  EXPECT_EQ(r.level, ServedBy::kDram);
+  EXPECT_FALSE(r.invalidation);
+}
+
+TEST(HierarchyTest, WriteUpgradeTemplatePathsAgree) {
+  // The templated Access<is_write> must behave exactly like the runtime
+  // dispatch form for both polarities.
+  CacheHierarchy a(SmallConfig());
+  CacheHierarchy b(SmallConfig());
+  const AccessResult r1 = a.Access<true>(0, 0xD000, 8, 1);
+  const AccessResult r2 = b.Access(0, 0xD000, 8, true, 1);
+  EXPECT_EQ(r1.level, r2.level);
+  const AccessResult r3 = a.Access<false>(1, 0xD000, 8, 2);
+  const AccessResult r4 = b.Access(1, 0xD000, 8, false, 2);
+  EXPECT_EQ(r3.level, r4.level);
+  EXPECT_EQ(r3.level, ServedBy::kForeignCache);
+}
+
 // Parameterized coherence property: whichever core wrote last, a read from
 // any *other* core must not be served from that other core's own L1, and
 // after the read both copies are coherent (subsequent reads hit locally).
