@@ -40,11 +40,31 @@ def main():
     cur = load_metrics(args.current)
     only = {name for name in args.only.split(",") if name}
 
-    # A gate that never saw its metric must fail loudly, not pass silently
-    # (renamed metric, truncated bench output).
-    missing = [name for name in sorted(only) if name not in cur or name not in base]
+    # A gated metric the current run dropped must fail loudly, not pass
+    # silently (renamed metric, truncated bench output). A gated metric the
+    # *baseline* lacks is a newly added row (the merge base predates it) and
+    # gates from the next change on. One absent from both sides is accepted
+    # only when the bench says so itself — it must emit a matching
+    # *_skipped_* annotation (e.g. engine_threads4_skipped_hw_too_small for
+    # engine_threads4_seconds on a <4-thread runner); without one, a
+    # misspelled gate name or a silently dropped row must still fail.
+    def skip_annotated(name, metrics):
+        stem = name[: -len("_seconds")] if name.endswith("_seconds") else name
+        return any(m.startswith(stem + "_skipped") for m in metrics)
+
+    missing = []
+    for name in sorted(only):
+        if name in cur:
+            continue
+        if name in base:
+            missing.append(name)
+        elif skip_annotated(name, cur):
+            print(f"  SKIP       {name:40s} absent from baseline and current "
+                  f"(bench annotated the skip on this host)")
+        else:
+            missing.append(name)
     if missing:
-        print(f"FAIL: gated metric(s) missing from baseline or current: "
+        print(f"FAIL: gated metric(s) missing from current run: "
               f"{', '.join(missing)}")
         return 1
 

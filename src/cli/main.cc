@@ -14,6 +14,9 @@
 //   --type NAME        per-type path-trace drill-down (run)
 //   --legacy-loop      run on the legacy sequential loop instead of the
 //                      epoch engine (run; the validation baseline)
+//   --no-record-elision keep materializing full access records even for
+//                      epochs with no event consumer (run; output is
+//                      byte-identical either way — CI diffs the two)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -45,6 +48,7 @@ int Usage(FILE* out) {
                "  --cores N     simulated cores (run; default 16)\n"
                "  --cycles N    phase-1 collection cycles (run)\n"
                "  --legacy-loop run on the legacy loop, not the engine (run)\n"
+               "  --no-record-elision always materialize access records (run)\n"
                "  --seed N      machine seed (default 1)\n"
                "  --scale X     bench iteration scale (bench; default 1.0)\n");
   return out == stdout ? 0 : 2;
@@ -58,6 +62,7 @@ struct ParsedFlags {
   double scale = 1.0;
   int threads = 0;
   bool legacy_loop = false;
+  bool record_elision = true;
   std::string drill_type;
 };
 
@@ -112,6 +117,8 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
     }
     if (arg == "--legacy-loop") {
       flags->legacy_loop = true;
+    } else if (arg == "--no-record-elision") {
+      flags->record_elision = false;
     } else if (arg == "--json") {
       flags->json = true;
     } else if (arg == "--cores") {
@@ -188,7 +195,8 @@ int CmdRun(const std::vector<std::string>& args) {
     return 2;
   }
   ParsedFlags flags;
-  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed --legacy-loop",
+  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed --legacy-loop "
+                  "--no-record-elision",
                   &flags))
     return 2;
 
@@ -198,6 +206,7 @@ int CmdRun(const std::vector<std::string>& args) {
   params.collect_cycles = flags.cycles;
   params.threads = flags.threads;
   params.use_engine = !flags.legacy_loop;
+  params.record_elision = flags.record_elision;
   params.build_view_json = flags.json;
   params.drill_type = flags.drill_type;
   const ScenarioReport report = RunScenario(registry, name, params);

@@ -173,6 +173,7 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   if (params.use_engine) {
     EngineConfig engine_config;
     engine_config.threads = params.threads;
+    engine_config.allow_record_elision = params.record_elision;
     engine = std::make_unique<Engine>(rig->machine.get(), engine_config);
     rig->machine->SetExecutor(engine.get());
   }

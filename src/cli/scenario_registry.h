@@ -53,6 +53,10 @@ struct ScenarioParams {
   // loop instead of the epoch engine: the baseline the parallel_engine
   // bench and the engine-validation tests compare against.
   bool use_engine = true;
+  // EngineConfig::allow_record_elision for the run's engine. The report is
+  // byte-identical either way; tests and CI force the recorded path with
+  // false to diff the two.
+  bool record_elision = true;
   // Whether RunScenario should render the per-view JSON documents into the
   // report; text-only callers skip that work.
   bool build_view_json = true;

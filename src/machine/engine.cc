@@ -35,6 +35,13 @@ uint64_t PackKey(uint64_t timestamp, int core) {
   return (timestamp << kCoreBits) | static_cast<uint64_t>(core);
 }
 
+// Gather window of the apply passes: merge drains fill up to this many
+// ApplyLane records before handing the window to the hierarchy's
+// prefetch-pipelined ApplyBatch. Large enough to amortize the pipeline
+// lead-in (kPrefetchDepth) many times over, small enough to live on the
+// stack next to its scatter indices.
+constexpr uint32_t kApplyWindow = 64;
+
 // Balanced-tree reduction: log-depth dependency chain, so the four-wide min
 // stages overlap instead of serializing like a linear fold.
 template <int kWidth>
@@ -222,6 +229,9 @@ void Engine::RunFor(uint64_t cycles) {
 void Engine::RunEpoch(uint64_t epoch_end) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
+  // The elision gate reads only committed machine state, so the choice —
+  // like everything downstream of it — is identical for every thread count.
+  elide_epoch_ = config_.allow_record_elision && ElisionEligible();
   for (int c = 0; c < cores; ++c) {
     CoreRecorder& rec = recorders_[c];
     // Calibrate the core's lower-bound cost model from the epoch just
@@ -236,7 +246,7 @@ void Engine::RunEpoch(uint64_t epoch_end) {
       rec.cost_scale16 =
           static_cast<uint32_t>((3ull * rec.cost_scale16 + scale16) / 4);
     }
-    rec.Reset(m.clocks_[c], shard_apply_ ? num_shards_ : 0);
+    rec.Reset(m.clocks_[c], shard_apply_ ? num_shards_ : 0, elide_epoch_);
   }
   const auto t0 = Clock::now();
   ParallelFor(cores, [&](int core) { SimulateCore(core, epoch_end); });
@@ -244,6 +254,8 @@ void Engine::RunEpoch(uint64_t epoch_end) {
   if (shard_apply_) {
     ParallelFor(static_cast<int>(num_shards_),
                 [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
+  } else if (elide_epoch_) {
+    ApplyGlobalElided();
   } else {
     ApplyGlobal();
   }
@@ -264,7 +276,30 @@ void Engine::RunEpoch(uint64_t epoch_end) {
   phase_stats_.apply_seconds += Seconds(t1, t2);
   phase_stats_.commit_seconds += Seconds(t2, t3);
   ++phase_stats_.epochs;
+  if (elide_epoch_) {
+    ++phase_stats_.elided_epochs;
+  }
   ++epochs_run_;
+}
+
+bool Engine::ElisionEligible() const {
+  const Machine& m = *machine_;
+  if (!m.observers_.empty() || m.elision_inhibitors() > 0) {
+    return false;
+  }
+  for (PmuHook* hook : m.pmu_hooks_) {
+    Addr lo = 0;
+    Addr hi = 0;
+    if (hook->AccessFilter(&lo, &hi)) {
+      return false;  // an armed watchpoint window wants per-access checks
+    }
+    for (int c = 0; c < m.num_cores(); ++c) {
+      if (hook->QuietOps(c) != PmuHook::kQuietUnbounded) {
+        return false;  // a countdown could expire inside the epoch
+      }
+    }
+  }
+  return true;
 }
 
 void Engine::SimulateCore(int core, uint64_t epoch_end) {
@@ -283,24 +318,34 @@ void Engine::SimulateCore(int core, uint64_t epoch_end) {
   }
 }
 
-// Both apply passes merge in (t >> apply_quantum_bits, core, program order):
+// All apply passes merge in (t >> apply_quantum_bits, core, program order):
 // see EngineConfig::apply_quantum_bits. The quantized key also makes
 // same-core runs long (a core's whole quantum drains before the merge
-// switches), so the min-tree recomputes once per run, not per op.
+// switches), so the min-tree recomputes once per run, not per op — and each
+// drain is a single-core span the prefetch-pipelined ApplyBatch can walk.
+// Gathering a drain into a window before applying it changes nothing about
+// the access order; it only lets the hierarchy see the addresses of ops
+// i+1..i+k while it resolves op i.
 void Engine::ApplyShard(uint32_t shard) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
   const int qbits = config_.apply_quantum_bits;
+  const bool elided = elide_epoch_;
   uint64_t keys[kMaxCores];
   size_t cursor[kMaxCores] = {0};
+  ApplyLane window[kApplyWindow];
+  uint32_t scatter[kApplyWindow];
   int remaining = 0;
   for (int c = 0; c < kMaxCores; ++c) {
     keys[c] = kDoneKey;
   }
   for (int c = 0; c < cores; ++c) {
-    const auto& list = recorders_[c].shard_ops[shard];
+    const CoreRecorder& rec = recorders_[c];
+    const auto& list = rec.shard_ops[shard];
     if (!list.empty()) {
-      keys[c] = PackKey(recorders_[c].lane[list[0]].t >> qbits, c);
+      const uint64_t t0 = elided ? rec.epoch_start_clock + rec.ring[list[0]].t_delta
+                                 : rec.lane[list[0]].t;
+      keys[c] = PackKey(t0 >> qbits, c);
       ++remaining;
     }
   }
@@ -308,18 +353,48 @@ void Engine::ApplyShard(uint32_t shard) {
     const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
     CoreRecorder& rec = recorders_[core];
     const auto& list = rec.shard_ops[shard];
+    const uint64_t base = rec.epoch_start_clock;
     keys[core] = kDoneKey;
     const uint64_t limit = MinKey(keys, cores);
     uint64_t key;
     do {
-      CoreRecorder::Lane& lane = rec.lane[list[cursor[core]]];
-      const AccessResult r =
-          m.hierarchy_.Access(core, lane.addr, lane.size_w & ~CoreRecorder::kWriteBit,
-                              (lane.size_w & CoreRecorder::kWriteBit) != 0, lane.t);
-      lane.result = CoreRecorder::PackResult(r.latency, r.level, r.invalidation);
-      key = ++cursor[core] < list.size()
-                ? PackKey(rec.lane[list[cursor[core]]].t >> qbits, core)
-                : kDoneKey;
+      // Gather the drain (ring entries or lane records of this core, in
+      // shard-list order) into the window, then batch-apply and scatter the
+      // packed results back.
+      uint32_t nw = 0;
+      if (elided) {
+        do {
+          const uint32_t ri = list[cursor[core]];
+          window[nw] = rec.ring[ri];
+          scatter[nw] = ri;
+          ++nw;
+          key = ++cursor[core] < list.size()
+                    ? PackKey((base + rec.ring[list[cursor[core]]].t_delta) >> qbits,
+                              core)
+                    : kDoneKey;
+        } while (key < limit && nw < kApplyWindow);
+        m.hierarchy_.ApplyBatch(core, base, window, nw);
+        for (uint32_t j = 0; j < nw; ++j) {
+          rec.ring[scatter[j]].size_w = window[j].size_w;
+        }
+      } else {
+        do {
+          const uint32_t li = list[cursor[core]];
+          const CoreRecorder::Lane& lane = rec.lane[li];
+          DPROF_CHECK(lane.t - base <= 0xffff'ffffull);  // silent wrap would corrupt merge order
+          window[nw] =
+              ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
+          scatter[nw] = li;
+          ++nw;
+          key = ++cursor[core] < list.size()
+                    ? PackKey(rec.lane[list[cursor[core]]].t >> qbits, core)
+                    : kDoneKey;
+        } while (key < limit && nw < kApplyWindow);
+        m.hierarchy_.ApplyBatch(core, base, window, nw);
+        for (uint32_t j = 0; j < nw; ++j) {
+          rec.lane[scatter[j]].result = window[j].size_w;
+        }
+      }
     } while (key < limit);
     keys[core] = key;
     if (key == kDoneKey) {
@@ -361,23 +436,88 @@ void Engine::ApplyGlobal() {
       ++remaining;
     }
   }
+  ApplyLane window[kApplyWindow];
+  uint32_t scatter[kApplyWindow];
   while (remaining > 0) {
     const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
     CoreRecorder& rec = recorders_[core];
     const uint32_t count = static_cast<uint32_t>(rec.size());
+    const uint64_t base = rec.epoch_start_clock;
     keys[core] = kDoneKey;
     const uint64_t limit = MinKey(keys, cores);
     uint64_t key;
     do {
-      CoreRecorder::Lane& lane = rec.lane[cursor[core]];
-      const AccessResult r =
-          m.hierarchy_.Access(core, lane.addr, lane.size_w & ~CoreRecorder::kWriteBit,
-                              (lane.size_w & CoreRecorder::kWriteBit) != 0, lane.t);
-      lane.result = CoreRecorder::PackResult(r.latency, r.level, r.invalidation);
-      cursor[core] = next_access(rec, cursor[core] + 1);
-      key = cursor[core] < count ? PackKey(rec.lane[cursor[core]].t >> qbits, core)
-                                 : kDoneKey;
+      uint32_t nw = 0;
+      do {
+        const uint32_t li = cursor[core];
+        const CoreRecorder::Lane& lane = rec.lane[li];
+        DPROF_CHECK(lane.t - base <= 0xffff'ffffull);  // silent wrap would corrupt merge order
+        window[nw] =
+            ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
+        scatter[nw] = li;
+        ++nw;
+        cursor[core] = next_access(rec, li + 1);
+        key = cursor[core] < count ? PackKey(rec.lane[cursor[core]].t >> qbits, core)
+                                   : kDoneKey;
+      } while (key < limit && nw < kApplyWindow);
+      m.hierarchy_.ApplyBatch(core, base, window, nw);
+      for (uint32_t j = 0; j < nw; ++j) {
+        rec.lane[scatter[j]].result = window[j].size_w;
+      }
     } while (key < limit);
+    keys[core] = key;
+    if (key == kDoneKey) {
+      --remaining;
+    }
+  }
+}
+
+// Elided-epoch single-thread apply: every access of the epoch lives in the
+// per-core rings, contiguous and already in the ApplyLane span format, so
+// each merge drain is handed to ApplyBatch in place — no gather, no
+// scatter; the packed results land directly in the ring for the commit
+// pass. The merge order is the same (t >> quantum, core, program order)
+// function of the recorded streams as the lane-based passes.
+void Engine::ApplyGlobalElided() {
+  Machine& m = *machine_;
+  const int cores = m.num_cores();
+  const int qbits = config_.apply_quantum_bits;
+  uint64_t keys[kMaxCores];
+  size_t cursor[kMaxCores] = {0};
+  int remaining = 0;
+  for (int c = 0; c < kMaxCores; ++c) {
+    keys[c] = kDoneKey;
+  }
+  for (int c = 0; c < cores; ++c) {
+    const CoreRecorder& rec = recorders_[c];
+    if (rec.ring_n > 0) {
+      keys[c] = PackKey((rec.epoch_start_clock + rec.ring[0].t_delta) >> qbits, c);
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
+    CoreRecorder& rec = recorders_[core];
+    const uint64_t base = rec.epoch_start_clock;
+    keys[core] = kDoneKey;
+    const uint64_t limit = MinKey(keys, cores);
+    // Ring times are nondecreasing, so the drain is the contiguous slice up
+    // to the first entry at or past the limit quantum.
+    const size_t begin = cursor[core];
+    size_t end = begin + 1;
+    uint64_t key = kDoneKey;
+    while (end < rec.ring_n) {
+      key = PackKey((base + rec.ring[end].t_delta) >> qbits, core);
+      if (key >= limit) {
+        break;
+      }
+      ++end;
+    }
+    if (end >= rec.ring_n) {
+      key = kDoneKey;
+    }
+    m.hierarchy_.ApplyBatch(core, base, rec.ring + begin, end - begin);
+    cursor[core] = end;
     keys[core] = key;
     if (key == kDoneKey) {
       --remaining;
@@ -551,6 +691,19 @@ uint32_t Engine::CommitRun(int core, uint32_t begin, uint32_t end) {
         if (probing != 0) {
           probe_lat += latency;
         }
+      } else if (k == SimOp::kElidedRun) {
+        // A run of elided accesses: the apply pass left each packed result
+        // in the ring slice; the run's clock effect is one sum.
+        const ApplyLane* run = rec.ring + lanes[i].addr;
+        const uint32_t count = lanes[i].size_w;
+        uint64_t lat = 0;
+        for (uint32_t j = 0; j < count; ++j) {
+          lat += PackedAccessLatency(run[j].size_w);
+        }
+        clock += count * base_cost + lat;
+        if (probing != 0) {
+          probe_lat += lat;
+        }
       } else if (k == SimOp::kCompute || k == SimOp::kIdle) {
         clock += lanes[i].payload();
       } else if (k == SimOp::kProbeBegin) {
@@ -617,6 +770,20 @@ uint32_t Engine::CommitRun(int core, uint32_t begin, uint32_t end) {
       }
       if (want_events) {
         EmitAccess(MakeAccessEvent(core, lane, metas[i].ip, latency, clock));
+      }
+    } else if (k == SimOp::kElidedRun) {
+      // Elision is gated on nothing being able to consume these accesses
+      // for the whole epoch, so no event assembly, hook consultation, or
+      // quiet accounting applies — only the clock and probe sums.
+      const ApplyLane* run = rec.ring + lanes[i].addr;
+      const uint32_t count = lanes[i].size_w;
+      uint64_t lat = 0;
+      for (uint32_t j = 0; j < count; ++j) {
+        lat += PackedAccessLatency(run[j].size_w);
+      }
+      clock += count * base_cost + lat;
+      if (probing != 0) {
+        probe_lat += lat;
       }
     } else if (k == SimOp::kCompute) {
       const uint64_t cycles = lanes[i].payload();

@@ -18,8 +18,17 @@
 //      (CacheHierarchy::num_shards), so shard workers never share state,
 //      and each shard's merge order is a pure function of the recorded
 //      queues. At one thread the same suborders are produced by a single
-//      fused merge with no shard lists. Each op's latency/level/
-//      invalidation result is stored back into its lane record.
+//      fused merge with no shard lists. Every merge drain is a single-core
+//      span handed to CacheHierarchy::ApplyBatch, whose software pipeline
+//      prefetches the tag rows of the access kPrefetchDepth ahead while
+//      the current one resolves; each op's packed latency/level/
+//      invalidation result is stored back into its lane (or ring) record.
+//
+//      Epochs that provably have no event consumer stream their accesses
+//      through compact 16-byte per-core rings instead of the full lane +
+//      meta columns (record elision — see
+//      EngineConfig::allow_record_elision); the rings are the ApplyLane
+//      span format, so the fused merge applies them in place.
 //   3. COMMIT (sequential): exact core clocks are reconstructed — memory
 //      latencies, PMU interrupt charges, and lock waits accumulate per
 //      core — and every observer, PMU hook, lock observer, and allocation
@@ -87,6 +96,16 @@ struct EngineConfig {
   // comparable while giving the host long same-core runs — the simulated
   // L1/L2 state stays hot and the merge tree amortizes across runs.
   int apply_quantum_bits = 11;  // 2048-cycle quanta; fidelity data in tests/engine_validation_test.cc
+  // Record elision: an epoch whose machine state, read at epoch start,
+  // proves that no consumer can act on any access event (no observers, no
+  // armed access filter, every counting PMU hook unbounded-quiet, no
+  // elision inhibitor held — see Engine::ElisionEligible) streams its
+  // accesses through a compact 16-byte per-core ring straight into the
+  // batch applier instead of materializing the 24-byte lane + 8-byte meta
+  // records. The committed stream is bit-identical either way (the apply
+  // merge order and clock reconstruction are unchanged); this knob exists
+  // so tests and CI can force the recorded path and diff the two.
+  bool allow_record_elision = true;
 };
 
 // Host wall-clock spent in each engine phase, accumulated across epochs.
@@ -99,6 +118,7 @@ struct EnginePhaseStats {
   double commit_seconds = 0.0;
   double deliver_seconds = 0.0;
   uint64_t epochs = 0;
+  uint64_t elided_epochs = 0;  // epochs that streamed accesses record-elided
 };
 
 class Engine final : public Executor {
@@ -162,7 +182,15 @@ class Engine final : public Executor {
   void SimulateCore(int core, uint64_t epoch_end);
   void ApplyShard(uint32_t shard);
   void ApplyGlobal();
+  void ApplyGlobalElided();
   void CommitEpoch();
+
+  // True when the machine's observer/hook state at epoch start proves that
+  // no access of the coming epoch can be consumed (event, sample, or
+  // watchpoint) — the record-elision gate. Hook and observer sets change
+  // only between RunFor calls, and mid-epoch arming from commit callbacks
+  // is excluded by Machine::elision_inhibitors.
+  bool ElisionEligible() const;
 
   // Commits ops of `core` starting at `begin` within a sync-free segment
   // ending at `end`, advancing the core's committed clock in place. Stops
@@ -202,6 +230,9 @@ class Engine final : public Executor {
   // Shard-parallel apply when worker threads exist; fused single merge
   // (bit-identical results, no shard lists) otherwise.
   bool shard_apply_ = false;
+  // This epoch streams accesses through the elision rings (set per epoch
+  // from the gate above; identical for every host thread count).
+  bool elide_epoch_ = false;
   std::vector<CoreRecorder> recorders_;
   uint64_t epochs_run_ = 0;
   EnginePhaseStats phase_stats_;

@@ -21,6 +21,17 @@ void CoreRecorder::Grow() {
   capacity = new_cap;
 }
 
+void CoreRecorder::GrowRing() {
+  const size_t new_cap = ring_capacity == 0 ? 4096 : ring_capacity * 2;
+  auto new_ring = std::make_unique<ApplyLane[]>(new_cap);
+  if (ring_n > 0) {
+    __builtin_memcpy(new_ring.get(), ring, ring_n * sizeof(ApplyLane));
+  }
+  ring_store_ = std::move(new_ring);
+  ring = ring_store_.get();
+  ring_capacity = new_cap;
+}
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       hierarchy_(config.hierarchy),
@@ -125,15 +136,20 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
     AccessResult total;
     Addr at = addr;
     uint32_t remaining = size;
+    const bool elide = recorder_->elide;
     while (remaining > 0) {
       const uint32_t line_room =
           static_cast<uint32_t>(line_size - (at & (line_size - 1)));
       const uint32_t chunk = remaining < line_room ? remaining : line_room;
       if (recorder_->record_shards) {
-        recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(
-            static_cast<uint32_t>(recorder_->size()));
+        recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(static_cast<uint32_t>(
+            elide ? recorder_->ring_n : recorder_->size()));
       }
-      recorder_->PushAccess(recorder_->lb, at, chunk | write_bit, ip);
+      if (elide) {
+        recorder_->PushElidedAccess(recorder_->lb, at, chunk | write_bit);
+      } else {
+        recorder_->PushAccess(recorder_->lb, at, chunk | write_bit, ip);
+      }
       recorder_->ChargeAccess(raw_cost);
       total.latency += l1_latency;
       ++total.lines;

@@ -33,6 +33,7 @@
 
 #include "src/machine/symbol_table.h"
 #include "src/sim/hierarchy.h"
+#include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/types.h"
@@ -248,6 +249,8 @@ struct SimOp {
     kIdle,             // aux = cycles
     kProbeBegin,       // latency probe window opens
     kProbeEnd,         // addr = RunningStat*, aux = divisor bits
+    kElidedRun,        // engine-internal run of elided accesses: addr = first
+                       // ring index, size_w = count (see CoreRecorder::ring)
     kLockAcquire,      // addr = SimLock*; wait + acquire callback at commit
     kLockRelease,      // addr = SimLock*
     kAllocEvent,       // addr = base, aux = type<<32 | size
@@ -308,25 +311,26 @@ class CoreRecorder {
     uint8_t kind;  // SimOp::Kind | kAlienBit
     uint8_t pad[3];
   };
-  static constexpr uint32_t kWriteBit = 0x8000'0000u;
+  static constexpr uint32_t kWriteBit = ApplyLane::kWriteBit;
   static constexpr uint8_t kKindMask = 0x0f;
   static constexpr uint8_t kAlienBit = 0x80;
 
-  // Apply-phase result packing for kAccess: latency (24 bits), level (3),
-  // invalidation (1). Simulated latencies are a few hundred cycles; 24 bits
-  // leaves three orders of magnitude of headroom.
+  // Apply-phase result packing for kAccess: the shared packed-AccessResult
+  // layout (src/sim/hierarchy.h), which is also what ApplyBatch writes.
   static uint32_t PackResult(uint32_t latency, ServedBy level, bool invalidation) {
-    return latency | (static_cast<uint32_t>(level) << 24) |
-           (static_cast<uint32_t>(invalidation) << 27);
+    return PackAccessResult(latency, level, invalidation);
   }
-  static uint32_t ResultLatency(uint32_t result) { return result & 0x00ff'ffffu; }
-  static ServedBy ResultLevel(uint32_t result) {
-    return static_cast<ServedBy>((result >> 24) & 0x7u);
+  static uint32_t ResultLatency(uint32_t result) { return PackedAccessLatency(result); }
+  static ServedBy ResultLevel(uint32_t result) { return PackedAccessLevel(result); }
+  static bool ResultInvalidation(uint32_t result) {
+    return PackedAccessInvalidation(result);
   }
-  static bool ResultInvalidation(uint32_t result) { return ((result >> 27) & 1u) != 0; }
 
   // num_shards == 0 disables shard-list recording (single-thread apply).
-  void Reset(uint64_t committed_clock, size_t num_shards) {
+  // elide_accesses routes accesses into the 16-byte ring (see `ring` below);
+  // the engine turns it on only for epochs that provably have no event
+  // consumer.
+  void Reset(uint64_t committed_clock, size_t num_shards, bool elide_accesses) {
     n = 0;
     sync_points.clear();
     record_shards = num_shards > 0;
@@ -336,6 +340,9 @@ class CoreRecorder {
     for (auto& list : shard_ops) {
       list.clear();
     }
+    elide = elide_accesses;
+    ring_n = 0;
+    run_open = false;
     lb = committed_clock;
     epoch_start_clock = committed_clock;
     raw_access_cost = 0;
@@ -362,6 +369,7 @@ class CoreRecorder {
                                                (op.flag ? kAlienBit : 0u)),
                    {0, 0, 0}};
     ++n;
+    run_open = false;
   }
 
   // Hot-path pushes (per-line accesses, compute bursts, idle steps) skip
@@ -382,6 +390,40 @@ class CoreRecorder {
                    static_cast<uint32_t>(cycles >> 32)};
     meta[n] = Meta{ip, static_cast<uint8_t>(kind), {0, 0, 0}};
     ++n;
+    run_open = false;
+  }
+
+  // Elided-access push: the access streams into the 16-byte ring (in the
+  // hierarchy's ApplyLane layout, so the apply pass resolves it in place)
+  // and the lane stream carries one kElidedRun marker per contiguous run —
+  // enough for the commit pass to rebuild clocks and latency probes from
+  // the packed results the apply pass leaves in the ring. The op's t is
+  // implied: epoch_start_clock + entry.t_delta. No ip is kept; elision is
+  // only legal when nothing can consume an access event.
+  void PushElidedAccess(uint64_t t, Addr addr, uint32_t size_w) {
+    if (__builtin_expect(ring_n == ring_capacity, 0)) {
+      GrowRing();
+    }
+    // Ring times are epoch-relative 32-bit deltas; an epoch's lower-bound
+    // clock advance is bounded by epoch_cycles plus one driver step, so
+    // this only fires for a driver that advances >= 2^32 cycles in a
+    // single step — always-on, since a silent wrap would corrupt the
+    // apply merge order (the compare is against a constant and never
+    // taken in practice).
+    DPROF_CHECK(t - epoch_start_clock <= 0xffff'ffffull);
+    ring[ring_n] = ApplyLane{addr, static_cast<uint32_t>(t - epoch_start_clock), size_w};
+    ++ring_n;
+    if (run_open) {
+      ++lane[n - 1].size_w;  // extend the open run's count
+      return;
+    }
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    lane[n] = Lane{t, static_cast<Addr>(ring_n - 1), 1, 0};
+    meta[n] = Meta{kInvalidFunction, SimOp::kElidedRun, {0, 0, 0}};
+    ++n;
+    run_open = true;
   }
   // Extends the previous op instead of pushing when it is the same cycle
   // burst kind from the same function: consecutive compute/idle steps fuse
@@ -421,9 +463,19 @@ class CoreRecorder {
   Meta* meta = nullptr;
   size_t n = 0;
   size_t capacity = 0;
+  // Record-elision ring: accesses of elide epochs, in program order, as
+  // 16-byte ApplyLane records (half the lane+meta footprint, and the exact
+  // span format CacheHierarchy::ApplyBatch consumes in place). After the
+  // apply pass each entry's size_w holds the packed AccessResult.
+  ApplyLane* ring = nullptr;
+  size_t ring_n = 0;
+  size_t ring_capacity = 0;
+  bool elide = false;
+  bool run_open = false;  // last pushed op is this epoch's open kElidedRun
   std::vector<uint32_t> sync_points;
-  // Indices of kAccess ops per hierarchy shard, in program order; filled
-  // only when record_shards (shard-parallel apply).
+  // Indices of kAccess ops (elide epochs: ring indices) per hierarchy
+  // shard, in program order; filled only when record_shards
+  // (shard-parallel apply).
   bool record_shards = false;
   std::vector<std::vector<uint32_t>> shard_ops;
   uint64_t lb = 0;
@@ -435,10 +487,12 @@ class CoreRecorder {
   uint32_t cost_scale16 = 16;
 
  private:
-  void Grow();  // doubles the column storage (cold; capacity persists)
+  void Grow();      // doubles the column storage (cold; capacity persists)
+  void GrowRing();  // doubles the elision ring (cold; capacity persists)
 
   std::unique_ptr<Lane[]> lane_store_;
   std::unique_ptr<Meta[]> meta_store_;
+  std::unique_ptr<ApplyLane[]> ring_store_;
 };
 
 struct MachineConfig {
@@ -491,6 +545,16 @@ class Machine {
   void SetEpochFocus(bool focus) { epoch_focus_ = focus; }
   bool epoch_focus() const { return epoch_focus_; }
 
+  // Record-elision inhibitors. The engine may elide access records for an
+  // epoch whose hook/observer state, read at epoch start, proves no event
+  // consumer exists. That snapshot cannot see arming that happens mid-epoch
+  // from a commit-time callback (the history collector arming debug
+  // registers from an allocation event), so any component able to do that
+  // holds an inhibitor while attached and elision stays off.
+  void AddElisionInhibitor() { ++elision_inhibitors_; }
+  void RemoveElisionInhibitor() { --elision_inhibitors_; }
+  int elision_inhibitors() const { return elision_inhibitors_; }
+
   // Installs an execution strategy; RunFor delegates to it when set.
   void SetExecutor(Executor* executor) { executor_ = executor; }
   Executor* executor() { return executor_; }
@@ -534,6 +598,7 @@ class Machine {
   Executor* executor_ = nullptr;
   std::vector<TypeId> mailbox_fed_types_;
   bool epoch_focus_ = false;
+  int elision_inhibitors_ = 0;
 };
 
 // Lightweight per-core handle passed to drivers and the allocator. All

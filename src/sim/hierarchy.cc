@@ -242,6 +242,9 @@ void CacheHierarchy::ReclaimExtWay(uint64_t set) {
   // copy it tracked with it (the owner's sharer bit is always set, so a
   // dirty owner is covered; the data itself is conceptually written back).
   uint32_t sharers = meta.sharers;
+  for (uint32_t p = sharers; p != 0; p &= p - 1) {
+    PrefetchPrivateRows(__builtin_ctz(p), line);
+  }
   while (sharers != 0) {
     const int c = __builtin_ctz(sharers);
     sharers &= sharers - 1;
@@ -423,6 +426,9 @@ void CacheHierarchy::WriteUpgrade(int core, uint64_t line, uint64_t set, int slo
 
 void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t victim,
                                            uint64_t now) {
+  // The victim's L3 set row is needed right after the other-level probe;
+  // start it now so the two fetches overlap.
+  __builtin_prefetch(l3_tags_.data() + (victim & l3_set_mask_) * l3_ways_);
   if (ProbeRow(other, other.RowOf(c, victim), victim) >= 0) {
     return;  // still held by the other private level
   }
@@ -577,7 +583,8 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
 }
 
 template <bool kWrite>
-AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, uint64_t now) {
+AccessResult CacheHierarchy::AccessImpl(int core, Addr addr, uint32_t size, uint64_t now,
+                                        StatStripe* scratch) {
   DPROF_DCHECK(core >= 0 && core < config_.num_cores);
   DPROF_DCHECK(size > 0);
   AccessResult result;
@@ -594,7 +601,7 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, uint64_t
     result.invalidation = result.invalidation || invalidation;
     ++result.lines;
 
-    StatStripe& stats = StatsFor(core, line);
+    StatStripe& stats = scratch != nullptr ? *scratch : StatsFor(core, line);
     ++stats.served[static_cast<int>(level)];
     if (invalidation) {
       ++stats.invalidation_misses;
@@ -603,10 +610,45 @@ AccessResult CacheHierarchy::Access(int core, Addr addr, uint32_t size, uint64_t
   return result;
 }
 
-template AccessResult CacheHierarchy::Access<false>(int core, Addr addr, uint32_t size,
-                                                    uint64_t now);
-template AccessResult CacheHierarchy::Access<true>(int core, Addr addr, uint32_t size,
-                                                   uint64_t now);
+template AccessResult CacheHierarchy::AccessImpl<false>(int core, Addr addr, uint32_t size,
+                                                        uint64_t now, StatStripe* scratch);
+template AccessResult CacheHierarchy::AccessImpl<true>(int core, Addr addr, uint32_t size,
+                                                       uint64_t now, StatStripe* scratch);
+
+void CacheHierarchy::ApplyBatch(int core, uint64_t base, ApplyLane* lanes, size_t count) {
+  if (count == 0) {
+    return;
+  }
+  // Prime the pipeline: the first kPrefetchDepth accesses' rows start their
+  // way toward the host caches before any of them resolves.
+  const size_t lead = count < kPrefetchDepth ? count : kPrefetchDepth;
+  for (size_t i = 0; i < lead; ++i) {
+    PrefetchAccess(core, lanes[i].addr);
+  }
+  StatStripe scratch;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchDepth < count) {
+      PrefetchAccess(core, lanes[i + kPrefetchDepth].addr);
+    }
+    ApplyLane& lane = lanes[i];
+    const uint32_t size = lane.size_w & ~ApplyLane::kWriteBit;
+    const AccessResult r =
+        (lane.size_w & ApplyLane::kWriteBit) != 0
+            ? AccessImpl<true>(core, lane.addr, size, base + lane.t_delta, &scratch)
+            : AccessImpl<false>(core, lane.addr, size, base + lane.t_delta, &scratch);
+    lane.size_w = PackAccessResult(r.latency, r.level, r.invalidation);
+  }
+  // One flush per span. Under shard-parallel apply every line of the span
+  // belongs to the calling worker's shard (see the header contract), so the
+  // first line's stripe is never touched by a concurrent worker; observable
+  // stats are per-core sums over stripes, so which stripe of the core
+  // receives the counts is immaterial.
+  StatStripe& out = StatsFor(core, lanes[0].addr >> line_shift_);
+  for (int level = 0; level < 5; ++level) {
+    out.served[level] += scratch.served[level];
+  }
+  out.invalidation_misses += scratch.invalidation_misses;
+}
 
 const CoreMemStats& CacheHierarchy::core_stats(int core) const {
   CoreMemStats& agg = agg_core_stats_[core];

@@ -80,6 +80,36 @@ struct AccessResult {
   uint32_t lines = 0;          // number of cache lines spanned
 };
 
+// Packed form of an AccessResult: latency (24 bits) | level (3) |
+// invalidation (1). The batch-apply interface below writes it, and the
+// engine's lane records (CoreRecorder in src/machine/machine.h) carry the
+// same layout; simulated latencies are a few hundred cycles, so 24 bits
+// leaves three orders of magnitude of headroom.
+inline uint32_t PackAccessResult(uint32_t latency, ServedBy level, bool invalidation) {
+  return latency | (static_cast<uint32_t>(level) << 24) |
+         (static_cast<uint32_t>(invalidation) << 27);
+}
+inline uint32_t PackedAccessLatency(uint32_t packed) { return packed & 0x00ff'ffffu; }
+inline ServedBy PackedAccessLevel(uint32_t packed) {
+  return static_cast<ServedBy>((packed >> 24) & 0x7u);
+}
+inline bool PackedAccessInvalidation(uint32_t packed) {
+  return ((packed >> 27) & 1u) != 0;
+}
+
+// One access of a batch-apply span: the compact 16-byte record the engine
+// streams accesses through (its record-elision rings use exactly this
+// layout, so an elided stream is applied in place). `size_w` carries
+// size | kWriteBit on entry and the packed AccessResult on return.
+struct ApplyLane {
+  static constexpr uint32_t kWriteBit = 0x8000'0000u;
+
+  Addr addr;
+  uint32_t t_delta;  // access time = span base + t_delta
+  uint32_t size_w;   // in: size | write bit; out: PackAccessResult(...)
+};
+static_assert(sizeof(ApplyLane) == 16, "spans are streamed as 16-byte records");
+
 struct HierarchyConfig {
   int num_cores = 16;
   CacheGeometry l1{32 * 1024, 64, 8};
@@ -127,13 +157,34 @@ class CacheHierarchy {
   // the overwhelmingly common case — compiles to a single predictable probe
   // with no ownership checks.
   template <bool kWrite>
-  AccessResult Access(int core, Addr addr, uint32_t size, uint64_t now);
+  AccessResult Access(int core, Addr addr, uint32_t size, uint64_t now) {
+    return AccessImpl<kWrite>(core, addr, size, now, nullptr);
+  }
 
   // Runtime-dispatch form for callers that carry the write bit in data.
   AccessResult Access(int core, Addr addr, uint32_t size, bool is_write, uint64_t now) {
     return is_write ? Access<true>(core, addr, size, now)
                     : Access<false>(core, addr, size, now);
   }
+
+  // Software-pipelined batch apply: resolves `count` accesses by `core` in
+  // order (access i happens at base + lanes[i].t_delta) and writes each
+  // packed result into lanes[i].size_w. While resolving access i it issues
+  // host prefetches for the L1/L2 tag rows and the L3 set/directory rows of
+  // access i + kPrefetchDepth, so a span of random addresses overlaps its
+  // host cache misses on the tag columns instead of serializing them; the
+  // per-access stat counters accumulate in a span-local scratch stripe and
+  // flush once per span. State effects and results are exactly those of
+  // `count` sequential Access calls. Concurrency contract: when spans are
+  // applied from concurrent shard workers, every line of a span must belong
+  // to the calling worker's shard (the engine's per-shard drains satisfy
+  // this by construction); single-threaded callers may span shards freely.
+  void ApplyBatch(int core, uint64_t base, ApplyLane* lanes, size_t count);
+
+  // Prefetch distance of ApplyBatch: far enough ahead to cover a host DRAM
+  // miss at a few ns per simulated access, short enough that the prefetched
+  // rows are still resident when their access resolves.
+  static constexpr size_t kPrefetchDepth = 8;
 
   const HierarchyConfig& config() const { return config_; }
   uint32_t line_size() const { return config_.l1.line_size; }
@@ -169,6 +220,41 @@ class CacheHierarchy {
   void FlushAll();
 
  private:
+  // Pulls the tag/stamp rows an access to `addr` will walk toward the host
+  // caches: the issuing core's L1 and L2 set rows and the line's L3 set row
+  // (both halves of the 16-way tag rows; the stamp rows ride along because
+  // every hit stamps recency). Used by ApplyBatch's lookahead.
+  // Starts the L1/L2 tag rows of (core, line) toward the host caches.
+  // An extension-bank reclaim back-invalidates every sharer of the
+  // reclaimed tag in turn; issuing all sharers' row prefetches before the
+  // first serialized probe overlaps their fetches. (The hot write-upgrade
+  // path deliberately does not do this: measured on the reference host,
+  // the extra prefetch instructions cost more than the overlap buys when
+  // the victims' rows are already cache-resident.)
+  void PrefetchPrivateRows(int core, uint64_t line) const {
+    __builtin_prefetch(l1_.tags.data() + l1_.RowOf(core, line));
+    __builtin_prefetch(l2_.tags.data() + l2_.RowOf(core, line));
+  }
+
+  void PrefetchAccess(int core, Addr addr) const {
+#if DPROF_DISABLE_PREFETCH
+    (void)core; (void)addr;
+#else
+    const uint64_t line = addr >> line_shift_;
+    const size_t row1 = l1_.RowOf(core, line);
+    __builtin_prefetch(l1_.tags.data() + row1);
+    __builtin_prefetch(l1_.stamps.data() + row1, 1);
+    const size_t row2 = l2_.RowOf(core, line);
+    __builtin_prefetch(l2_.tags.data() + row2);
+    __builtin_prefetch(l2_.stamps.data() + row2, 1);
+    const size_t l3_base = (line & l3_set_mask_) * l3_ways_;
+    __builtin_prefetch(l3_tags_.data() + l3_base);
+    if (l3_ways_ > 8) {  // second host line of a 16-way tag row
+      __builtin_prefetch(l3_tags_.data() + l3_base + 8);
+    }
+    __builtin_prefetch(l3_stamps_.data() + l3_base, 1);
+#endif
+  }
   static constexpr uint64_t kNoLine = ~0ull;
   // High tag bit marking an in-place dir-only residue in a data way: the
   // line's data left the L3 (write upgrade), but its tag and embedded
@@ -238,6 +324,7 @@ class CacheHierarchy {
   template <bool kWrite>
   ServedBy AccessLine(int core, uint64_t line, uint64_t now, bool* invalidation);
 
+
   // Ensures `line` occupies an L3 data way (stamp = now), preserving its
   // directory state; mirrors a classic LRU insert on the data ways and
   // demotes an evicted victim's tag into the extension bank. Returns the
@@ -302,6 +389,13 @@ class CacheHierarchy {
   StatStripe& StatsFor(int core, uint64_t line) {
     return core_stats_[static_cast<uint64_t>(core) * (shard_mask_ + 1) + (line & shard_mask_)];
   }
+
+  // Shared implementation of Access and ApplyBatch: with a scratch stripe,
+  // per-line stat counts accumulate there (the batch path flushes once per
+  // span) instead of read-modify-writing the striped counters per line.
+  template <bool kWrite>
+  AccessResult AccessImpl(int core, Addr addr, uint32_t size, uint64_t now,
+                          StatStripe* scratch);
 
   HierarchyConfig config_;
   uint32_t shard_mask_ = 0;  // num_shards-1

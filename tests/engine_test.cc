@@ -11,11 +11,13 @@ namespace {
 // the whole profiling report, views included — is bit-identical for every
 // host thread count. These run full DProf sessions (IBS sampling, history
 // collection, view construction) through `dprof run`'s code path.
-std::string RunJson(const std::string& scenario, int cores, uint64_t cycles, int threads) {
+std::string RunJson(const std::string& scenario, int cores, uint64_t cycles, int threads,
+                    bool record_elision = true) {
   ScenarioParams params;
   params.cores = cores;
   params.collect_cycles = cycles;
   params.threads = threads;
+  params.record_elision = record_elision;
   const ScenarioReport report =
       RunScenario(ScenarioRegistry::Default(), scenario, params);
   return ScenarioReportToJson(report);
@@ -37,6 +39,60 @@ TEST(EngineDeterminismTest, ApacheIdenticalAcrossThreadCounts) {
   // Apache exercises the latency-probe path and per-core open-loop pacing.
   const std::string t1 = RunJson("apache", 4, 1'500'000, 1);
   EXPECT_EQ(t1, RunJson("apache", 4, 1'500'000, 2));
+}
+
+TEST(EngineDeterminismTest, RecordElisionIdenticalOnOffAndAcrossThreads) {
+  // Record elision must be invisible in the committed stream: the full
+  // report is byte-identical with elision allowed or forced off, at any
+  // thread count.
+  const std::string base = RunJson("memcached", 4, 2'000'000, 1, /*record_elision=*/true);
+  EXPECT_EQ(base, RunJson("memcached", 4, 2'000'000, 1, false));
+  EXPECT_EQ(base, RunJson("memcached", 4, 2'000'000, 4, true));
+  EXPECT_EQ(base, RunJson("memcached", 4, 2'000'000, 4, false));
+}
+
+TEST(EngineTest, UnprofiledRunElidesEveryEpochAndMatchesRecordedPath) {
+  // With no session attached nothing can consume an access event, so every
+  // epoch is elision-eligible; clocks (and everything derived from them)
+  // must match the recorded path exactly.
+  struct Driver final : CoreDriver {
+    bool Step(CoreContext& ctx) override {
+      const Addr base = 0x2000000 + static_cast<Addr>(ctx.core()) * 0x100000;
+      ctx.Read(1, base + (steps % 512) * 64, 16);
+      ctx.Write(1, 0x9000000 + (steps % 64) * 64, 8);  // shared, contended
+      ctx.Compute(1, 25);
+      ++steps;
+      return true;
+    }
+    uint64_t steps = 0;
+  };
+  uint64_t clocks[2][4];
+  uint64_t elided[2];
+  for (const bool elide : {false, true}) {
+    MachineConfig config;
+    config.hierarchy.num_cores = 4;
+    Machine machine(config);
+    Driver drivers[4];
+    for (int c = 0; c < 4; ++c) {
+      machine.SetDriver(c, &drivers[c]);
+    }
+    EngineConfig engine_config;
+    engine_config.threads = 1;
+    engine_config.epoch_cycles = 10'000;
+    engine_config.allow_record_elision = elide;
+    Engine engine(&machine, engine_config);
+    machine.SetExecutor(&engine);
+    machine.RunFor(100'000);
+    for (int c = 0; c < 4; ++c) {
+      clocks[elide ? 1 : 0][c] = machine.CoreClock(c);
+    }
+    elided[elide ? 1 : 0] = engine.phase_stats().elided_epochs;
+  }
+  EXPECT_EQ(elided[0], 0u);
+  EXPECT_GT(elided[1], 0u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(clocks[0][c], clocks[1][c]) << "core " << c;
+  }
 }
 
 TEST(EngineTest, RunForReachesDeadline) {

@@ -154,6 +154,30 @@ TEST(EngineValidationTest, CoversEveryRegisteredScenario) {
   EXPECT_GE(ScenarioRegistry::Default().Names().size(), 4u);
 }
 
+// Record elision is a pure recording-cost optimization: for every
+// registered scenario the full `dprof run --json` document must be
+// byte-identical with elision allowed and forced off, at one and at four
+// host threads.
+TEST(EngineValidationTest, RecordElisionByteIdenticalPerScenario) {
+  ScenarioRegistry& registry = ScenarioRegistry::Default();
+  for (const std::string& name : registry.Names()) {
+    SCOPED_TRACE("scenario: " + name);
+    ScenarioParams params;
+    params.cores = 4;
+    params.collect_cycles = 1'500'000;
+    params.threads = 1;
+    params.record_elision = true;
+    const std::string baseline =
+        ScenarioReportToJson(RunScenario(registry, name, params));
+    params.record_elision = false;
+    EXPECT_EQ(baseline, ScenarioReportToJson(RunScenario(registry, name, params)));
+    params.threads = 4;
+    EXPECT_EQ(baseline, ScenarioReportToJson(RunScenario(registry, name, params)));
+    params.record_elision = true;
+    EXPECT_EQ(baseline, ScenarioReportToJson(RunScenario(registry, name, params)));
+  }
+}
+
 // Adaptive epochs: drilling into a mailbox-fed type runs the engine at
 // EngineConfig::epoch_cycles_focus, which must close most of the documented
 // epoch-batching miss-rate drift on that type (legacy 69% vs engine 41% at
