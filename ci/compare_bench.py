@@ -2,7 +2,7 @@
 """Compares two `dprof bench ... --json` documents (micro_costs, parallel_engine).
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
-                        [--only name1,name2]
+                        [--only name1,name2] [--volatile-prefix prefix]
 
 Fails (exit 1) when any host-cost metric (unit ns/op, ns/access, or s)
 regresses by more than the threshold relative to the baseline. With --only, only the listed
@@ -11,6 +11,11 @@ like parallel_engine where some timings (hardware-thread scaling on shared
 runners) are too noisy to gate on. Simulated-cost-model constants (unit
 "cycles") are reported but never fail the build: changing the model is a
 reviewed decision, not a perf regression.
+
+Metrics matching --volatile-prefix (e.g. whatif_candidate_) are SKIPped,
+never gated, and never treated as missing: the whatif bench names its rows
+after whichever candidate fixes the profile ranked that release, so the row
+set legitimately differs across baselines.
 """
 
 import argparse
@@ -34,11 +39,20 @@ def main():
         default="",
         help="comma-separated metric names eligible to fail the gate",
     )
+    parser.add_argument(
+        "--volatile-prefix",
+        default="",
+        help="metric-name prefix whose rows are informational only and may "
+        "appear on either side without failing (ranked whatif candidates)",
+    )
     args = parser.parse_args()
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
     only = {name for name in args.only.split(",") if name}
+
+    def volatile(name):
+        return bool(args.volatile_prefix) and name.startswith(args.volatile_prefix)
 
     # A gated metric the current run dropped must fail loudly, not pass
     # silently (renamed metric, truncated bench output). A gated metric the
@@ -54,7 +68,7 @@ def main():
 
     missing = []
     for name in sorted(only):
-        if name in cur:
+        if name in cur or volatile(name):
             continue
         if name in base:
             missing.append(name)
@@ -69,7 +83,17 @@ def main():
         return 1
 
     failures = []
+    for name in sorted(base):
+        if name not in cur and volatile(name):
+            print(f"  SKIP       {name:40s} volatile row absent from current run")
     for name, metric in sorted(cur.items()):
+        if volatile(name):
+            side = "both runs" if name in base else "current run only"
+            print(
+                f"  SKIP       {name:40s} {metric['value']:10.2f} "
+                f"{metric.get('unit', '')} (volatile, {side})"
+            )
+            continue
         if name not in base:
             print(f"  NEW    {name:40s} {metric['value']:.2f} {metric['unit']}")
             continue

@@ -3,6 +3,14 @@
 #include <algorithm>
 
 namespace dprof {
+namespace {
+
+// Color cycle length for kRecolor: successive slabs (or static array
+// elements) start one line later, modulo this, spreading hot same-offset
+// fields across eight associativity sets.
+constexpr uint32_t kColorCycle = 8;
+
+}  // namespace
 
 SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const SlabConfig& config)
     : machine_(machine), registry_(registry), config_(config) {
@@ -10,6 +18,7 @@ SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const Sla
   DPROF_CHECK(config_.slab_header_size < config_.page_size);
   DPROF_CHECK(config_.batch_count > 0 && config_.batch_count <= config_.magazine_capacity);
   DPROF_CHECK(config_.arena_stride % config_.page_size == 0);
+  line_size_ = machine_->hierarchy().line_size();
 
   slab_type_ = registry_->Register("slab", config_.slab_header_size);
   array_cache_type_ = registry_->Register("array_cache", 128);
@@ -93,6 +102,37 @@ Addr SlabAllocator::RegisterStatic(TypeId type, uint32_t size) {
   return base;
 }
 
+Addr SlabAllocator::RegisterStaticArray(TypeId type, uint32_t elem_size, uint32_t count,
+                                        uint32_t stride, std::vector<Addr>* elems) {
+  DPROF_CHECK(count > 0 && elem_size > 0 && stride >= elem_size);
+  const std::string& name = registry_->Name(type);
+  uint32_t eff_stride = stride;
+  if (config_.transforms.Has(name, TypeTransformKind::kPadToLine)) {
+    // Repack densely, one line-multiple stride per element, discarding the
+    // caller's hand-chosen placement.
+    eff_stride = (elem_size + line_size_ - 1) / line_size_ * line_size_;
+  }
+  const uint32_t color_lines =
+      config_.transforms.Has(name, TypeTransformKind::kRecolor) ? kColorCycle : 0;
+  const uint64_t span = static_cast<uint64_t>(eff_stride) * count +
+                        (color_lines > 0 ? (color_lines - 1) * line_size_ : 0);
+  const Addr base = RegisterStatic(type, static_cast<uint32_t>(span));
+  if (elems != nullptr) {
+    for (uint32_t i = 0; i < count; ++i) {
+      Addr at = base + static_cast<Addr>(i) * eff_stride;
+      if (color_lines > 0) {
+        at += static_cast<Addr>(i % color_lines) * line_size_;
+      }
+      elems->push_back(at);
+    }
+  }
+  return base;
+}
+
+bool SlabAllocator::HasTransform(TypeId type, TypeTransformKind kind) const {
+  return config_.transforms.Has(registry_->Name(type), kind);
+}
+
 void SlabAllocator::ReplayStatics(AllocationObserver* observer) const {
   for (const MetaRange& range : statics_) {
     observer->OnAlloc(range.type, range.base, range.size, 0, machine_->MaxClock());
@@ -110,6 +150,17 @@ SlabAllocator::KmemCache& SlabAllocator::CacheFor(TypeId type) {
   cache.type = type;
   // Pad to 8 bytes like the kernel allocator.
   cache.obj_size = (registry_->Size(type) + 7u) & ~7u;
+  if (!config_.transforms.empty()) {
+    const std::string& name = registry_->Name(type);
+    if (config_.transforms.Has(name, TypeTransformKind::kPadToLine)) {
+      cache.obj_size = (cache.obj_size + line_size_ - 1) / line_size_ * line_size_;
+    }
+    cache.line_align = config_.transforms.Has(name, TypeTransformKind::kAlign);
+    cache.pin_home = config_.transforms.Has(name, TypeTransformKind::kPinHome);
+    if (config_.transforms.Has(name, TypeTransformKind::kRecolor)) {
+      cache.color_lines = kColorCycle;
+    }
+  }
   cache.struct_addr = AllocMeta(kmem_cache_type_, 256);
   // All caches share the display name so lock-stat aggregates them as one
   // class, like the paper's "SLAB cache lock" row. Each cache still has its
@@ -139,15 +190,23 @@ void SlabAllocator::PrepareParallel(int num_cores) {
 }
 
 uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
-  const uint32_t span = config_.slab_header_size + cache.obj_size;
+  // kAlign pads past the on-slab header to a line boundary; kRecolor sizes
+  // the slab for the worst-case color so every colored slab still fits at
+  // least one object.
+  const uint32_t align_pad =
+      cache.line_align ? (line_size_ - config_.slab_header_size % line_size_) % line_size_ : 0;
+  const uint32_t color_max = cache.color_lines > 0 ? (cache.color_lines - 1) * line_size_ : 0;
+  const uint32_t span = config_.slab_header_size + align_pad + color_max + cache.obj_size;
   const uint32_t num_pages = (span + config_.page_size - 1) / config_.page_size;
   const uint32_t bytes = num_pages * config_.page_size;
-  const uint32_t num_objects =
-      std::max(1u, (bytes - config_.slab_header_size) / cache.obj_size);
 
   Arena& arena = arenas_[ctx.core()];
   DPROF_CHECK(arena.slabs.size() < config_.max_slabs_per_arena);
   const uint32_t slab_id = static_cast<uint32_t>(arena.slabs.size());
+  const uint32_t color_off =
+      cache.color_lines > 0 ? (slab_id % cache.color_lines) * line_size_ : 0;
+  const uint32_t lead = config_.slab_header_size + align_pad + color_off;
+  const uint32_t num_objects = std::max(1u, (bytes - lead) / cache.obj_size);
   const Addr page_base =
       BumpPages(arena, num_pages, PageInfo{PageInfo::Kind::kSlab, slab_id});
 
@@ -156,7 +215,7 @@ uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCac
   slab.cache_id = static_cast<uint32_t>(&cache - caches_.data());
   slab.page_base = page_base;
   slab.num_pages = num_pages;
-  slab.objs_base = page_base + config_.slab_header_size;
+  slab.objs_base = page_base + lead;
   slab.num_objects = num_objects;
   slab.freelist.reserve(num_objects);
   for (uint32_t i = 0; i < num_objects; ++i) {
@@ -319,6 +378,26 @@ void SlabAllocator::Free(CoreContext& ctx, Addr addr, FunctionId ip) {
     pc.magazine.push_back(res.base);
     if (pc.magazine.size() > config_.magazine_capacity) {
       FlushMagazine(ctx, cache, pc);
+    }
+  } else if (cache.pin_home) {
+    // kPinHome: hand the object straight back to its home core, skipping
+    // the alien array and the batched drain's remote writes to the home
+    // core's array_cache and slab header. In engine mode the host transfer
+    // is staged per freeing core and lands at the epoch boundary, the same
+    // channel DrainAlien uses.
+    PerCoreCache& pc = cache.per_core[ctx.core()];
+    if (ctx.recording()) {
+      pc.staged.push_back(AlienEntry{res.base, static_cast<int8_t>(home)});
+    } else {
+      PerCoreCache& home_pc = cache.per_core[home];
+      home_pc.magazine.push_back(res.base);
+      if (home_pc.magazine.size() > config_.magazine_capacity) {
+        for (uint32_t i = 0; i < config_.batch_count && !home_pc.magazine.empty(); ++i) {
+          const Addr obj = home_pc.magazine.front();
+          home_pc.magazine.erase(home_pc.magazine.begin());
+          ReturnToSlab(cache, obj);
+        }
+      }
     }
   } else {
     // Alien free: queue the object on this core's alien array; a full array

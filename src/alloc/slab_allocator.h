@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/alloc/type_registry.h"
+#include "src/alloc/type_transform.h"
 #include "src/machine/machine.h"
 #include "src/util/types.h"
 
@@ -73,6 +74,11 @@ struct SlabConfig {
   // Upper bound on slabs per arena; storage is preallocated so concurrent
   // cross-core address resolution never observes a reallocating array.
   uint32_t max_slabs_per_arena = 8192;
+  // Data-layout transforms applied per type name when its kmem_cache or
+  // static registration is created (see type_transform.h). Empty by
+  // default: an empty or all-identity set leaves every layout decision
+  // byte-identical to the untransformed allocator.
+  TransformSet transforms;
 };
 
 struct AllocatorTypeStats {
@@ -114,6 +120,24 @@ class SlabAllocator : public AllocatorIface {
   // static data segment. Setup-time only: never call from a driver running
   // under the engine.
   Addr RegisterStatic(TypeId type, uint32_t size);
+
+  // Registers `count` statically placed objects of `type`, nominally
+  // `stride` bytes apart, as one resolver range, honouring the type's
+  // layout transforms: kPadToLine repacks the run densely at a
+  // line-multiple stride, kRecolor staggers successive elements by one
+  // line per color. With no transforms the layout is exactly
+  // RegisterStatic(type, stride * count) with elements at base + i *
+  // stride. Element addresses are appended to `elems` when non-null.
+  // Setup-time only, like RegisterStatic.
+  Addr RegisterStaticArray(TypeId type, uint32_t elem_size, uint32_t count, uint32_t stride,
+                           std::vector<Addr>* elems);
+
+  // Whether `type` carries `kind` in the configured TransformSet.
+  bool HasTransform(TypeId type, TypeTransformKind kind) const;
+  const TransformSet& transforms() const { return config_.transforms; }
+  // Cache line size of the attached machine's hierarchy (the unit every
+  // transform pads, aligns, or colors by).
+  uint32_t line_size() const { return line_size_; }
 
   void AddObserver(AllocationObserver* observer) { observers_.push_back(observer); }
   void RemoveObserver(AllocationObserver* observer);
@@ -178,6 +202,10 @@ class SlabAllocator : public AllocatorIface {
     std::unique_ptr<SimLock> lock;
     std::vector<PerCoreCache> per_core;
     AllocatorTypeStats stats;
+    // Transform interpretation, resolved once at cache creation:
+    bool line_align = false;   // kAlign: line-align each slab's object run
+    bool pin_home = false;     // kPinHome: remote frees bypass the alien path
+    uint32_t color_lines = 0;  // kRecolor: color cycle length, 0 = off
   };
 
   struct PageInfo {
@@ -220,6 +248,7 @@ class SlabAllocator : public AllocatorIface {
   Machine* machine_;
   TypeRegistry* registry_;
   SlabConfig config_;
+  uint32_t line_size_ = 64;
 
   TypeId slab_type_ = kInvalidType;
   TypeId array_cache_type_ = kInvalidType;

@@ -1,0 +1,76 @@
+#include "src/alloc/type_transform.h"
+
+#include <algorithm>
+
+namespace dprof {
+
+const char* TypeTransformKindName(TypeTransformKind kind) {
+  switch (kind) {
+    case TypeTransformKind::kIdentity:
+      return "identity";
+    case TypeTransformKind::kPadToLine:
+      return "pad_to_line";
+    case TypeTransformKind::kAlign:
+      return "align";
+    case TypeTransformKind::kRecolor:
+      return "recolor";
+    case TypeTransformKind::kReplicate:
+      return "replicate";
+    case TypeTransformKind::kPinHome:
+      return "pin_home";
+  }
+  return "unknown";
+}
+
+bool ParseTypeTransformKind(std::string_view name, TypeTransformKind* out) {
+  for (const TypeTransformKind kind :
+       {TypeTransformKind::kIdentity, TypeTransformKind::kPadToLine, TypeTransformKind::kAlign,
+        TypeTransformKind::kRecolor, TypeTransformKind::kReplicate,
+        TypeTransformKind::kPinHome}) {
+    if (name == TypeTransformKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<TypeTransformKind>& AllTypeTransformKinds() {
+  static const std::vector<TypeTransformKind>* kinds = new std::vector<TypeTransformKind>{
+      TypeTransformKind::kPadToLine, TypeTransformKind::kAlign, TypeTransformKind::kRecolor,
+      TypeTransformKind::kReplicate, TypeTransformKind::kPinHome};
+  return *kinds;
+}
+
+void TransformSet::Add(const std::string& type, TypeTransformKind kind) {
+  if (Has(type, kind)) {
+    return;
+  }
+  entries_.push_back(TypeTransform{type, kind});
+}
+
+bool TransformSet::Has(std::string_view type, TypeTransformKind kind) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const TypeTransform& t) {
+    return t.kind == kind && t.type == type;
+  });
+}
+
+bool TransformSet::AnyFor(std::string_view type) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const TypeTransform& t) { return t.type == type; });
+}
+
+std::string TransformSet::ToString() const {
+  std::string out;
+  for (const TypeTransform& t : entries_) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += t.type;
+    out += ':';
+    out += TypeTransformKindName(t.kind);
+  }
+  return out;
+}
+
+}  // namespace dprof

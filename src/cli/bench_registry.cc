@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/cli/scenario_registry.h"
+#include "src/cli/whatif.h"
 #include "src/machine/engine.h"
 #include "src/sim/hierarchy.h"
 #include "src/util/check.h"
@@ -28,7 +29,7 @@ using Clock = std::chrono::steady_clock;
 // Benches reuse the scenario rig assembly so machine wiring lives in exactly
 // one place (MakeBaseRig).
 std::unique_ptr<ScenarioRig> MakeRig(int cores, uint64_t seed) {
-  ScenarioParams params;
+  RunSpec params;
   params.cores = cores;
   params.seed = seed;
   return MakeBaseRig(params);
@@ -299,21 +300,26 @@ BenchReport RunMemcachedThroughput(const BenchParams& params) {
   report.bench = "memcached_throughput";
   const uint64_t warm = Scaled(params.scale, 10'000'000);
   const uint64_t measure = Scaled(params.scale, 40'000'000);
+  // Both arms come from the registered scenario factory, with the fix
+  // expressed as the RunSpec option the CLI exposes (--local-tx-queue).
+  const ScenarioInfo* info = ScenarioRegistry::Default().Find("memcached");
+  DPROF_CHECK(info != nullptr);
   for (const bool fixed : {false, true}) {
-    auto rig = MakeRig(16, params.seed);
+    RunSpec spec;
+    spec.cores = 16;
+    spec.seed = params.seed;
+    spec.local_tx_queue = fixed;
+    auto rig = info->factory(spec);
     Machine& machine = *rig->machine;
-    MemcachedConfig mc;
-    mc.local_queue_fix = fixed;
-    MemcachedWorkload workload(rig->env.get(), mc);
-    workload.Install(machine);
+    rig->workload->Install(machine);
     Engine engine(&machine, EngineConfig{});
     machine.SetExecutor(&engine);
     machine.RunFor(warm);
-    workload.ResetStats();
+    rig->workload->ResetStats();
     const uint64_t start = machine.MaxClock();
     machine.RunFor(measure);
     const double rps =
-        ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start);
+        ThroughputRps(rig->workload->CompletedRequests(), machine.MaxClock() - start);
     report.metrics.push_back(
         {fixed ? "fixed_rps" : "stock_rps", rps, "req/s"});
     machine.SetExecutor(nullptr);
@@ -328,15 +334,7 @@ BenchReport RunApacheThroughput(const BenchParams& params) {
   report.bench = "apache_throughput";
   const uint64_t warm = Scaled(params.scale, 10'000'000);
   const uint64_t measure = Scaled(params.scale, 40'000'000);
-  const std::pair<const char*, ApacheConfig> points[] = {
-      {"peak_rps", ApacheConfig::Peak()},
-      {"dropoff_rps", ApacheConfig::DropOff()},
-      {"fixed_rps", ApacheConfig::Fixed()},
-  };
-  for (const auto& [name, apache_config] : points) {
-    auto rig = MakeRig(16, params.seed);
-    Machine& machine = *rig->machine;
-    ApacheWorkload workload(rig->env.get(), apache_config);
+  auto measure_workload = [&](Workload& workload, Machine& machine) {
     workload.Install(machine);
     Engine engine(&machine, EngineConfig{});
     machine.SetExecutor(&engine);
@@ -344,10 +342,63 @@ BenchReport RunApacheThroughput(const BenchParams& params) {
     workload.ResetStats();
     const uint64_t start = machine.MaxClock();
     machine.RunFor(measure);
-    report.metrics.push_back(
-        {name, ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start),
-         "req/s"});
+    const double rps =
+        ThroughputRps(workload.CompletedRequests(), machine.MaxClock() - start);
     machine.SetExecutor(nullptr);
+    return rps;
+  };
+  // Peak is an operating point (offered load below the knee), not a fix:
+  // it keeps its explicit config. Drop-off and fixed are the scenario
+  // factory's two RunSpec shapes (--admission-control off/on).
+  {
+    auto rig = MakeRig(16, params.seed);
+    ApacheWorkload workload(rig->env.get(), ApacheConfig::Peak());
+    report.metrics.push_back(
+        {"peak_rps", measure_workload(workload, *rig->machine), "req/s"});
+  }
+  const ScenarioInfo* info = ScenarioRegistry::Default().Find("apache");
+  DPROF_CHECK(info != nullptr);
+  for (const bool fixed : {false, true}) {
+    RunSpec spec;
+    spec.cores = 16;
+    spec.seed = params.seed;
+    spec.admission_control = fixed;
+    auto rig = info->factory(spec);
+    report.metrics.push_back({fixed ? "fixed_rps" : "dropoff_rps",
+                              measure_workload(*rig->workload, *rig->machine), "req/s"});
+  }
+  return report;
+}
+
+// Smoke-sized end-to-end run of the whatif engine: memcached at 8 cores,
+// --auto over the top two profiled types. Emits one stable wall-clock row
+// (whatif_smoke_seconds, CI-gated) plus one volatile delta row per
+// candidate (whatif_candidate_*, SKIP-not-fail in compare_bench.py — the
+// candidate set follows the profile ranking and may change release to
+// release).
+BenchReport RunWhatIfSmoke(const BenchParams& params) {
+  BenchReport report;
+  report.bench = "whatif_smoke";
+  ScenarioRegistry& registry = ScenarioRegistry::Default();
+  RunSpec spec;
+  spec.cores = 8;
+  spec.seed = params.seed;
+  spec.collect_cycles = Scaled(params.scale, 2'000'000);
+
+  const auto start = Clock::now();
+  RunSpec probe = spec;
+  probe.threads = 1;
+  probe.collect_histories = false;
+  probe.build_view_json = false;
+  const ScenarioReport baseline = RunScenario(registry, "memcached", probe);
+  const std::vector<WhatIfCandidate> candidates = AutoCandidates(baseline.profile, 2);
+  const WhatIfReport whatif = RunWhatIf(registry, "memcached", spec, candidates);
+  report.metrics.push_back({"whatif_smoke_seconds", ElapsedNs(start) / 1e9, "s"});
+
+  for (const WhatIfOutcome& out : whatif.outcomes) {
+    report.metrics.push_back({"whatif_candidate_" + out.candidate.type + "_" +
+                                  TypeTransformKindName(out.candidate.kind) + "_delta_pct",
+                              out.delta_pct, "%"});
   }
   return report;
 }
@@ -368,7 +419,7 @@ BenchReport RunParallelEngine(const BenchParams& params) {
   // session pipeline on the step-the-minimum-clock-core loop.
   ScenarioReport last_report;
   auto run_once = [&](int threads, bool use_engine) {
-    ScenarioParams sp;
+    RunSpec sp;
     sp.cores = 16;
     sp.seed = params.seed;
     sp.collect_cycles = cycles;
@@ -568,6 +619,10 @@ void RegisterBuiltinBenches(BenchRegistry& registry) {
                     "epoch-engine wall-clock: legacy loop vs 1 / N host threads "
                     "on the 16-core memcached scenario",
                     RunParallelEngine);
+  registry.Register("whatif_smoke",
+                    "end-to-end `dprof whatif --auto` smoke on memcached "
+                    "(top-2 types x all fixes, ranked deltas)",
+                    RunWhatIfSmoke);
 
   // Paper-table reproductions (standalone bench/ programs run from here).
   static const char* kTablePrograms[] = {

@@ -2,21 +2,38 @@
 //
 //   dprof list                      — scenarios and benches with descriptions
 //   dprof run <scenario> [flags]    — profile a scenario, print the summary
+//   dprof whatif <scenario> [flags] — re-run with candidate fixes, rank gains
 //   dprof bench <name> [flags]      — run a registered benchmark
 //
+// All subcommands share one flag parser that fills a RunSpec; each declares
+// which flags it honours, so an inapplicable flag errors instead of being
+// silently ignored.
+//
 // Flags:
-//   --json             machine-readable output (run, bench)
-//   --cores N          simulated cores for run (default 16)
+//   --json             machine-readable output (run, whatif, bench)
+//   --cores N          simulated cores (run, whatif; default 16)
 //   --cycles N         phase-1 collection length in simulated cycles
-//   --threads N        host worker threads for the epoch engine (run;
-//                      default 0 = hardware concurrency; output is
-//                      bit-identical for every value)
-//   --type NAME        per-type path-trace drill-down (run)
+//   --threads N        host worker threads (run: epoch engine workers;
+//                      whatif: parallel candidate experiments; default 0 =
+//                      hardware concurrency; output is bit-identical for
+//                      every value)
+//   --type NAME        run: per-type path-trace drill-down;
+//                      whatif: the type the next --fix applies to
+//   --fix KIND         whatif: candidate transform for the preceding --type
+//                      (pad_to_line, align, recolor, replicate, pin_home,
+//                      identity); repeatable
+//   --auto             whatif: search top profiled types x all fixes
+//   --top N            whatif: how many profiled types --auto explores
+//                      (default 3)
+//   --local-tx-queue   apply the memcached §6.1 workload fix: transmit on
+//                      the receiving core's queue (run, whatif)
+//   --admission-control apply the apache §6.2 workload fix: cap accepted
+//                      connections (run, whatif)
 //   --legacy-loop      run on the legacy sequential loop instead of the
 //                      epoch engine (run; the validation baseline)
 //   --no-record-elision keep materializing full access records even for
-//                      epochs with no event consumer (run; output is
-//                      byte-identical either way — CI diffs the two)
+//                      epochs with no event consumer (run, whatif; output
+//                      is byte-identical either way — CI diffs the two)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -30,6 +47,7 @@
 
 #include "src/cli/bench_registry.h"
 #include "src/cli/scenario_registry.h"
+#include "src/cli/whatif.h"
 
 namespace dprof {
 namespace {
@@ -39,16 +57,23 @@ int Usage(FILE* out) {
                "usage: dprof <command> [args]\n"
                "\n"
                "commands:\n"
-               "  list                     list scenarios and benches\n"
-               "  run <scenario> [flags]   profile a scenario end to end\n"
-               "  bench <name> [flags]     run a registered benchmark\n"
+               "  list                        list scenarios and benches\n"
+               "  run <scenario> [flags]      profile a scenario end to end\n"
+               "  whatif <scenario> [flags]   rank candidate fixes by measured gain\n"
+               "  bench <name> [flags]        run a registered benchmark\n"
                "\n"
                "flags:\n"
                "  --json        machine-readable output\n"
-               "  --cores N     simulated cores (run; default 16)\n"
-               "  --cycles N    phase-1 collection cycles (run)\n"
+               "  --cores N     simulated cores (run, whatif; default 16)\n"
+               "  --cycles N    phase-1 collection cycles (run, whatif)\n"
+               "  --type NAME   drill-down type (run) / transform target (whatif)\n"
+               "  --fix KIND    candidate transform for the preceding --type (whatif)\n"
+               "  --auto        search top profiled types x all fixes (whatif)\n"
+               "  --top N       types --auto explores (whatif; default 3)\n"
+               "  --local-tx-queue    memcached core-local transmit fix\n"
+               "  --admission-control apache admission-control fix\n"
                "  --legacy-loop run on the legacy loop, not the engine (run)\n"
-               "  --no-record-elision always materialize access records (run)\n"
+               "  --no-record-elision always materialize access records\n"
                "  --seed N      machine seed (default 1)\n"
                "  --scale X     bench iteration scale (bench; default 1.0)\n");
   return out == stdout ? 0 : 2;
@@ -63,8 +88,30 @@ struct ParsedFlags {
   int threads = 0;
   bool legacy_loop = false;
   bool record_elision = true;
+  bool local_tx_queue = false;
+  bool admission_control = false;
   std::string drill_type;
+  // whatif candidate selection.
+  bool auto_search = false;
+  uint64_t top = 3;
+  std::vector<WhatIfCandidate> candidates;
 };
+
+// The one place flags become a run request: every subcommand that runs a
+// scenario builds its RunSpec here.
+RunSpec SpecFromFlags(const ParsedFlags& flags) {
+  RunSpec spec;
+  spec.cores = flags.cores;
+  spec.seed = flags.seed;
+  spec.collect_cycles = flags.cycles;
+  spec.threads = flags.threads;
+  spec.use_engine = !flags.legacy_loop;
+  spec.record_elision = flags.record_elision;
+  spec.build_view_json = flags.json;
+  spec.local_tx_queue = flags.local_tx_queue;
+  spec.admission_control = flags.admission_control;
+  return spec;
+}
 
 // Strict unsigned decimal parse; rejects empty values and trailing garbage
 // (so "--cycles 2e6" errors instead of silently running 2 cycles).
@@ -121,6 +168,15 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
       flags->record_elision = false;
     } else if (arg == "--json") {
       flags->json = true;
+    } else if (arg == "--auto") {
+      flags->auto_search = true;
+    } else if (arg == "--local-tx-queue") {
+      flags->local_tx_queue = true;
+    } else if (arg == "--admission-control") {
+      flags->admission_control = true;
+    } else if (arg == "--scenario") {
+      // Already consumed by FindScenarioArg; skip the value token.
+      if (next_value("--scenario") == nullptr) return false;
     } else if (arg == "--cores") {
       const char* v = next_value("--cores");
       uint64_t cores = 0;
@@ -151,10 +207,33 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
         return false;
       }
       flags->threads = static_cast<int>(threads);
+    } else if (arg == "--top") {
+      const char* v = next_value("--top");
+      if (v == nullptr || !ParseUInt("--top", v, &flags->top)) return false;
+      if (flags->top == 0 || flags->top > 64) {
+        std::fprintf(stderr, "dprof: --top must be in [1, 64]\n");
+        return false;
+      }
     } else if (arg == "--type") {
       const char* v = next_value("--type");
       if (v == nullptr) return false;
       flags->drill_type = v;
+    } else if (arg == "--fix") {
+      const char* v = next_value("--fix");
+      if (v == nullptr) return false;
+      TypeTransformKind kind;
+      if (!ParseTypeTransformKind(v, &kind)) {
+        std::fprintf(stderr,
+                     "dprof: unknown fix '%s' (one of: identity, pad_to_line, align, "
+                     "recolor, replicate, pin_home)\n",
+                     v);
+        return false;
+      }
+      if (flags->drill_type.empty()) {
+        std::fprintf(stderr, "dprof: --fix requires a preceding --type\n");
+        return false;
+      }
+      flags->candidates.push_back(WhatIfCandidate{flags->drill_type, kind});
     } else if (arg == "--scale") {
       const char* v = next_value("--scale");
       if (v == nullptr) return false;
@@ -183,33 +262,48 @@ int CmdList() {
   return 0;
 }
 
+// Scenario-name lookup shared by run and whatif. `args[2]` may be the name,
+// or a `--scenario NAME` flag anywhere after the subcommand; `*flag_start`
+// receives the index where flag parsing begins.
+bool FindScenarioArg(const std::vector<std::string>& args, std::string* name,
+                     size_t* flag_start) {
+  *flag_start = 2;
+  if (args.size() > 2 && args[2].rfind("--", 0) != 0) {
+    *name = args[2];
+    *flag_start = 3;
+  } else {
+    for (size_t i = 2; i + 1 < args.size(); ++i) {
+      if (args[i] == "--scenario") {
+        *name = args[i + 1];
+        break;
+      }
+    }
+  }
+  if (name->empty()) {
+    std::fprintf(stderr, "dprof: %s requires a scenario name\n", args[1].c_str());
+    return false;
+  }
+  if (!ScenarioRegistry::Default().Has(*name)) {
+    std::fprintf(stderr, "dprof: unknown scenario '%s'; try 'dprof list'\n", name->c_str());
+    return false;
+  }
+  return true;
+}
+
 int CmdRun(const std::vector<std::string>& args) {
-  if (args.size() < 3) {
-    std::fprintf(stderr, "dprof: run requires a scenario name\n");
-    return 2;
-  }
-  const std::string& name = args[2];
-  ScenarioRegistry& registry = ScenarioRegistry::Default();
-  if (!registry.Has(name)) {
-    std::fprintf(stderr, "dprof: unknown scenario '%s'; try 'dprof list'\n", name.c_str());
-    return 2;
-  }
+  std::string name;
+  size_t flag_start = 0;
+  if (!FindScenarioArg(args, &name, &flag_start)) return 2;
   ParsedFlags flags;
-  if (!ParseFlags(args, 3, "--json --cores --cycles --threads --type --seed --legacy-loop "
-                  "--no-record-elision",
+  if (!ParseFlags(args, flag_start,
+                  "--json --cores --cycles --threads --type --seed --legacy-loop "
+                  "--no-record-elision --local-tx-queue --admission-control --scenario",
                   &flags))
     return 2;
 
-  ScenarioParams params;
-  params.cores = flags.cores;
-  params.seed = flags.seed;
-  params.collect_cycles = flags.cycles;
-  params.threads = flags.threads;
-  params.use_engine = !flags.legacy_loop;
-  params.record_elision = flags.record_elision;
-  params.build_view_json = flags.json;
-  params.drill_type = flags.drill_type;
-  const ScenarioReport report = RunScenario(registry, name, params);
+  RunSpec spec = SpecFromFlags(flags);
+  spec.drill_type = flags.drill_type;
+  const ScenarioReport report = RunScenario(ScenarioRegistry::Default(), name, spec);
   if (!report.drill_type.empty() && !report.drill_type_found) {
     std::fprintf(stderr, "dprof: scenario '%s' has no type named '%s'\n", name.c_str(),
                  report.drill_type.c_str());
@@ -236,6 +330,58 @@ int CmdRun(const std::vector<std::string>& args) {
                   report.path_trace_text.c_str());
     }
   }
+  return 0;
+}
+
+int CmdWhatIf(const std::vector<std::string>& args) {
+  std::string name;
+  size_t flag_start = 0;
+  if (!FindScenarioArg(args, &name, &flag_start)) return 2;
+  ParsedFlags flags;
+  if (!ParseFlags(args, flag_start,
+                  "--json --cores --cycles --threads --seed --no-record-elision --scenario "
+                  "--type --fix --auto --top --local-tx-queue --admission-control",
+                  &flags))
+    return 2;
+  if (flags.auto_search == !flags.candidates.empty()) {
+    std::fprintf(stderr,
+                 "dprof: whatif needs either --auto or at least one --type/--fix pair\n");
+    return 2;
+  }
+
+  ScenarioRegistry& registry = ScenarioRegistry::Default();
+  const RunSpec spec = SpecFromFlags(flags);
+  std::vector<WhatIfCandidate> candidates = flags.candidates;
+  if (flags.auto_search) {
+    // Seed the search with the baseline's top profiled types: a cheap
+    // profile-only run (reused as the diff baseline inside RunWhatIf would
+    // need identical shape, so we just pick types here and let RunWhatIf
+    // re-measure under measurement settings).
+    RunSpec probe = spec;
+    probe.build_view_json = false;
+    probe.collect_histories = false;
+    probe.threads = 1;
+    const ScenarioReport baseline = RunScenario(registry, name, probe);
+    candidates = AutoCandidates(baseline.profile, flags.top);
+    if (candidates.empty()) {
+      std::fprintf(stderr, "dprof: scenario '%s' produced no profiled types\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  const WhatIfReport report = RunWhatIf(registry, name, spec, candidates);
+  if (flags.json) {
+    std::printf("%s\n", WhatIfReportToJson(report).c_str());
+    return 0;
+  }
+  std::printf("scenario: %s (%d cores, %llu cycles)\n", report.scenario.c_str(),
+              report.cores, static_cast<unsigned long long>(report.collect_cycles));
+  std::printf("baseline: %llu requests (%.0f req/s)\n\n",
+              static_cast<unsigned long long>(report.baseline_requests),
+              report.baseline_rps);
+  std::printf("== estimated gain per candidate fix ==\n%s",
+              WhatIfReportToTable(report).c_str());
   return 0;
 }
 
@@ -278,6 +424,7 @@ int Main(int argc, char** argv) {
   const std::string& command = args[1];
   if (command == "list") return CmdList();
   if (command == "run") return CmdRun(args);
+  if (command == "whatif") return CmdWhatIf(args);
   if (command == "bench") return CmdBench(args);
   if (command == "help" || command == "--help" || command == "-h") return Usage(stdout);
   std::fprintf(stderr, "dprof: unknown command '%s'\n", command.c_str());

@@ -15,20 +15,24 @@ namespace dprof {
 
 namespace {
 
-void ApplyParams(ScenarioRig& rig, const ScenarioParams& params) {
-  if (params.collect_cycles > 0) rig.collect_cycles = params.collect_cycles;
+void ApplySpec(ScenarioRig& rig, const RunSpec& spec) {
+  if (spec.collect_cycles > 0) rig.collect_cycles = spec.collect_cycles;
+  rig.options.adaptive_epoch_focus = spec.adaptive_epoch_focus;
 }
 
 }  // namespace
 
-std::unique_ptr<ScenarioRig> MakeBaseRig(const ScenarioParams& params) {
+std::unique_ptr<ScenarioRig> MakeBaseRig(const RunSpec& spec) {
   auto rig = std::make_unique<ScenarioRig>();
   rig->registry = std::make_unique<TypeRegistry>();
   MachineConfig config;
-  config.hierarchy.num_cores = params.cores;
-  config.seed = params.seed;
+  config.hierarchy.num_cores = spec.cores;
+  config.seed = spec.seed;
   rig->machine = std::make_unique<Machine>(config);
-  rig->allocator = std::make_unique<SlabAllocator>(rig->machine.get(), rig->registry.get());
+  SlabConfig slab_config;
+  slab_config.transforms = spec.transforms;
+  rig->allocator =
+      std::make_unique<SlabAllocator>(rig->machine.get(), rig->registry.get(), slab_config);
   rig->machine->SetAllocator(rig->allocator.get());
   rig->env = std::make_unique<KernelEnv>(rig->machine.get(), rig->allocator.get());
   // Interactive default: bound each type's history phase to ~50ms of
@@ -77,12 +81,13 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       "memcached",
       "memcached/UDP with the stock skb_tx_hash() queue selection (paper §6.1): "
       "skbuffs and payloads bounce between cores",
-      [](const ScenarioParams& params) {
-        auto rig = MakeBaseRig(params);
-        rig->workload =
-            std::make_unique<MemcachedWorkload>(rig->env.get(), MemcachedConfig{});
+      [](const RunSpec& spec) {
+        auto rig = MakeBaseRig(spec);
+        MemcachedConfig config;
+        config.local_queue_fix = spec.local_tx_queue;
+        rig->workload = std::make_unique<MemcachedWorkload>(rig->env.get(), config);
         rig->options.ibs_period_ops = 200;
-        ApplyParams(*rig, params);
+        ApplySpec(*rig, spec);
         return rig;
       });
 
@@ -90,12 +95,13 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       "apache",
       "Apache static-file serving past the throughput drop-off (paper §6.2): "
       "deep accept queues evict tcp_socks before accept()",
-      [](const ScenarioParams& params) {
-        auto rig = MakeBaseRig(params);
-        rig->workload =
-            std::make_unique<ApacheWorkload>(rig->env.get(), ApacheConfig::DropOff());
+      [](const RunSpec& spec) {
+        auto rig = MakeBaseRig(spec);
+        rig->workload = std::make_unique<ApacheWorkload>(
+            rig->env.get(),
+            spec.admission_control ? ApacheConfig::Fixed() : ApacheConfig::DropOff());
         rig->options.ibs_period_ops = 200;
-        ApplyParams(*rig, params);
+        ApplySpec(*rig, spec);
         return rig;
       });
 
@@ -103,13 +109,13 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       "kernel",
       "kernel network stack with the paper's core-local transmit fix applied: "
       "the post-fix memcached profile (paper §6.1, fixed)",
-      [](const ScenarioParams& params) {
-        auto rig = MakeBaseRig(params);
+      [](const RunSpec& spec) {
+        auto rig = MakeBaseRig(spec);
         MemcachedConfig config;
         config.local_queue_fix = true;
         rig->workload = std::make_unique<MemcachedWorkload>(rig->env.get(), config);
         rig->options.ibs_period_ops = 200;
-        ApplyParams(*rig, params);
+        ApplySpec(*rig, spec);
         return rig;
       });
 
@@ -117,8 +123,8 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       "conflict_demo",
       "associativity-conflict microbenchmark (paper §4.3): hot objects alias "
       "to the same L1 sets and evict each other",
-      [](const ScenarioParams& params) {
-        auto rig = MakeBaseRig(params);
+      [](const RunSpec& spec) {
+        auto rig = MakeBaseRig(spec);
         rig->workload =
             std::make_unique<ConflictDemoWorkload>(rig->env.get(), ConflictDemoConfig{});
         rig->options.ibs_period_ops = 100;
@@ -131,29 +137,29 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
         rig->options.history.granularity = 8;
         rig->options.history.max_elements_per_history = 256;
         rig->history_sets = 1;
-        ApplyParams(*rig, params);
+        ApplySpec(*rig, spec);
         return rig;
       });
 }
 
 ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& name,
-                           const ScenarioParams& params) {
+                           const RunSpec& spec) {
   const ScenarioInfo* info = registry.Find(name);
   DPROF_CHECK(info != nullptr);
 
-  std::unique_ptr<ScenarioRig> rig = info->factory(params);
+  std::unique_ptr<ScenarioRig> rig = info->factory(spec);
   DPROF_CHECK(rig != nullptr && rig->workload != nullptr);
   rig->workload->Install(*rig->machine);
 
   // Validate the drill-down type before spending the run: workloads
   // register every type during rig construction / install.
   TypeId drill = kInvalidType;
-  if (!params.drill_type.empty()) {
-    drill = rig->registry->Find(params.drill_type);
+  if (!spec.drill_type.empty()) {
+    drill = rig->registry->Find(spec.drill_type);
     if (drill == kInvalidType) {
       ScenarioReport report;
       report.scenario = name;
-      report.drill_type = params.drill_type;
+      report.drill_type = spec.drill_type;
       report.drill_type_found = false;
       return report;
     }
@@ -170,21 +176,23 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   // the legacy loop baseline; the thread count only affects wall-clock,
   // never the committed stream or the report.
   std::unique_ptr<Engine> engine;
-  if (params.use_engine) {
+  if (spec.use_engine) {
     EngineConfig engine_config;
-    engine_config.threads = params.threads;
-    engine_config.allow_record_elision = params.record_elision;
+    engine_config.threads = spec.threads;
+    engine_config.allow_record_elision = spec.record_elision;
     engine = std::make_unique<Engine>(rig->machine.get(), engine_config);
     rig->machine->SetExecutor(engine.get());
   }
 
   DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
   session.CollectAccessSamples(rig->collect_cycles);
-  session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
+  if (spec.collect_histories) {
+    session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
+  }
 
   ScenarioReport drill_report_part;
-  if (!params.drill_type.empty()) {
-    drill_report_part.drill_type = params.drill_type;
+  if (!spec.drill_type.empty()) {
+    drill_report_part.drill_type = spec.drill_type;
     {
       drill_report_part.drill_type_found = true;
       if (session.histories(drill).empty()) {
@@ -243,7 +251,7 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   const std::vector<MissClassRow> miss_rows = session.ClassifyMisses();
   report.miss_class_table = MissClassifier::ToTable(miss_rows);
 
-  if (params.build_view_json) {
+  if (spec.build_view_json) {
     report.miss_class_json = MissClassifier::ToJson(miss_rows);
     report.working_set_json = session.BuildWorkingSet().ToJson();
     const std::vector<TypeId> top = profile.TopTypes(1);

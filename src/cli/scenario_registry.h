@@ -38,9 +38,12 @@ struct ScenarioRig {
   size_t top_types = 3;
 };
 
-// Tunables the CLI exposes; factories receive them so every scenario honours
-// the same flags.
-struct ScenarioParams {
+// One reproducible run request: everything a caller — the CLI, a bench, or
+// the whatif search loop — needs to say about a scenario run, in one value
+// object. Replaces the old ScenarioParams/DProfOptions overlap so a search
+// can construct counterfactual runs programmatically (copy the spec, change
+// one field, re-run).
+struct RunSpec {
   int cores = 16;
   uint64_t seed = 1;
   // 0 = keep the scenario's default collect_cycles.
@@ -60,12 +63,31 @@ struct ScenarioParams {
   // Whether RunScenario should render the per-view JSON documents into the
   // report; text-only callers skip that work.
   bool build_view_json = true;
+  // Whether to run the phase-2 history collection for the top profiled
+  // types. The whatif engine turns this off: throughput diffs must not
+  // include history-phase perturbation.
+  bool collect_histories = true;
+  // DProfOptions::adaptive_epoch_focus for the run's session (tight epochs
+  // while a mailbox-fed type's histories are collected). Stats-equivalence
+  // tests turn this off to compare against fixed-epoch baselines.
+  bool adaptive_epoch_focus = true;
+  // Data-layout transforms the allocator applies per type name
+  // (SlabConfig::transforms) — the whatif engine's experimental variable.
+  TransformSet transforms;
+  // Workload-logic fixes that are not expressible as layout transforms,
+  // promoted from ad-hoc workload config booleans:
+  //  - memcached §6.1: transmit on the receiving core's queue instead of
+  //    skb_tx_hash() (MemcachedConfig::local_queue_fix);
+  //  - apache §6.2: cap concurrently accepted connections
+  //    (ApacheConfig admission control).
+  bool local_tx_queue = false;
+  bool admission_control = false;
   // Per-type drill-down: also collect histories for this type (by name) and
   // include its path traces in the report.
   std::string drill_type;
 };
 
-using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const ScenarioParams&)>;
+using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const RunSpec&)>;
 
 struct ScenarioInfo {
   std::string name;
@@ -96,10 +118,11 @@ class ScenarioRegistry {
 // tests that want a fresh registry).
 void RegisterBuiltinScenarios(ScenarioRegistry& registry);
 
-// Shared rig assembly for scenario factories: machine + typed allocator +
-// kernel environment sized from `params`, with interactive-friendly session
-// defaults. The factory fills in `workload` (and any option overrides).
-std::unique_ptr<ScenarioRig> MakeBaseRig(const ScenarioParams& params);
+// Shared rig assembly for scenario factories: machine + typed allocator
+// (with the spec's transforms installed) + kernel environment sized from
+// `spec`, with interactive-friendly session defaults. The factory fills in
+// `workload` (and any option overrides).
+std::unique_ptr<ScenarioRig> MakeBaseRig(const RunSpec& spec);
 
 // One ranked row of the run summary.
 struct ScenarioProfileRow {
@@ -129,7 +152,7 @@ struct ScenarioReport {
   // Data flow of the top profiled type, when histories were collected.
   std::string top_type;
   std::string data_flow_json;
-  // --type drill-down results (empty unless ScenarioParams::drill_type set).
+  // --type drill-down results (empty unless RunSpec::drill_type set).
   std::string drill_type;
   bool drill_type_found = false;
   std::string path_trace_text;    // Table 4.1-style listings
@@ -156,7 +179,7 @@ struct ScenarioReport {
 // Builds the rig, runs both DProf phases, and assembles the report.
 // CHECK-fails if `name` is not registered — callers validate first.
 ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& name,
-                           const ScenarioParams& params);
+                           const RunSpec& spec);
 
 // Renders `report` as the machine-readable JSON document `dprof run --json`
 // prints.

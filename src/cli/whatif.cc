@@ -1,0 +1,182 @@
+#include "src/cli/whatif.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/util/json_writer.h"
+#include "src/util/table.h"
+
+namespace dprof {
+
+namespace {
+
+// Shapes a spec into a measurement run: single-threaded engine (candidates
+// parallelize across experiments instead), no history phase, no view JSON —
+// the diff must only see the workload under the transform.
+RunSpec MeasurementSpec(const RunSpec& base) {
+  RunSpec spec = base;
+  spec.threads = 1;
+  spec.collect_histories = false;
+  spec.build_view_json = false;
+  spec.drill_type.clear();
+  return spec;
+}
+
+const ScenarioProfileRow* RowForType(const std::vector<ScenarioProfileRow>& profile,
+                                     const std::string& type) {
+  for (const ScenarioProfileRow& row : profile) {
+    if (row.type == type) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<WhatIfCandidate> AutoCandidates(const std::vector<ScenarioProfileRow>& profile,
+                                            size_t top_n) {
+  std::vector<WhatIfCandidate> candidates;
+  const size_t n = std::min(top_n, profile.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (const TypeTransformKind kind : AllTypeTransformKinds()) {
+      candidates.push_back(WhatIfCandidate{profile[i].type, kind});
+    }
+  }
+  return candidates;
+}
+
+WhatIfReport RunWhatIf(const ScenarioRegistry& registry, const std::string& scenario,
+                       const RunSpec& base_spec,
+                       const std::vector<WhatIfCandidate>& candidates) {
+  const RunSpec baseline_spec = MeasurementSpec(base_spec);
+  const ScenarioReport baseline = RunScenario(registry, scenario, baseline_spec);
+
+  WhatIfReport report;
+  report.scenario = baseline.scenario;
+  report.cores = baseline.cores;
+  report.collect_cycles = baseline.collect_cycles;
+  report.baseline_requests = baseline.requests;
+  report.baseline_rps = baseline.throughput_rps;
+  report.baseline_l1_misses = baseline.hierarchy.l1_misses;
+  report.baseline_invalidation_misses = baseline.hierarchy.invalidation_misses;
+  report.baseline_profile = baseline.profile;
+
+  // Each experiment is an independent deterministic simulation: fan out
+  // across host threads, one engine thread each. Results land by index, so
+  // the report never depends on completion order.
+  std::vector<ScenarioReport> variants(candidates.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t workers = std::min<size_t>(
+      candidates.size(), base_spec.threads > 0 ? static_cast<size_t>(base_spec.threads) : hw);
+  std::atomic<size_t> next{0};
+  auto run_experiments = [&]() {
+    for (size_t i = next.fetch_add(1); i < candidates.size(); i = next.fetch_add(1)) {
+      RunSpec spec = MeasurementSpec(base_spec);
+      spec.transforms.Add(candidates[i].type, candidates[i].kind);
+      variants[i] = RunScenario(registry, scenario, spec);
+    }
+  };
+  if (workers <= 1) {
+    run_experiments();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(run_experiments);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const ScenarioReport& variant = variants[i];
+    WhatIfOutcome out;
+    out.candidate = candidates[i];
+    out.requests = variant.requests;
+    out.throughput_rps = variant.throughput_rps;
+    out.delta_rps = variant.throughput_rps - baseline.throughput_rps;
+    out.delta_pct = baseline.throughput_rps > 0.0
+                        ? out.delta_rps / baseline.throughput_rps * 100.0
+                        : 0.0;
+    if (const ScenarioProfileRow* row = RowForType(baseline.profile, candidates[i].type)) {
+      out.miss_pct_before = row->miss_pct;
+      out.bounce_before = row->bounce;
+    }
+    if (const ScenarioProfileRow* row = RowForType(variant.profile, candidates[i].type)) {
+      out.miss_pct_after = row->miss_pct;
+      out.bounce_after = row->bounce;
+    }
+    out.l1_miss_delta = static_cast<int64_t>(variant.hierarchy.l1_misses) -
+                        static_cast<int64_t>(baseline.hierarchy.l1_misses);
+    out.invalidation_miss_delta =
+        static_cast<int64_t>(variant.hierarchy.invalidation_misses) -
+        static_cast<int64_t>(baseline.hierarchy.invalidation_misses);
+    report.outcomes.push_back(std::move(out));
+  }
+
+  std::sort(report.outcomes.begin(), report.outcomes.end(),
+            [](const WhatIfOutcome& a, const WhatIfOutcome& b) {
+              if (a.delta_pct != b.delta_pct) return a.delta_pct > b.delta_pct;
+              return a.candidate.Label() < b.candidate.Label();
+            });
+  return report;
+}
+
+std::string WhatIfReportToTable(const WhatIfReport& report) {
+  TablePrinter table({"Gain %", "Type", "Fix", "Req/s", "Miss % (was)", "Bounce"});
+  table.SetAlign(0, TablePrinter::Align::kRight);
+  table.SetAlign(3, TablePrinter::Align::kRight);
+  table.SetAlign(4, TablePrinter::Align::kRight);
+  for (const WhatIfOutcome& out : report.outcomes) {
+    std::string bounce = out.bounce_before == out.bounce_after
+                             ? (out.bounce_after ? "yes" : "no")
+                             : (out.bounce_after ? "no -> yes" : "yes -> no");
+    table.AddRow({TablePrinter::Fixed(out.delta_pct, 2), out.candidate.type,
+                  TypeTransformKindName(out.candidate.kind),
+                  TablePrinter::Fixed(out.throughput_rps, 0),
+                  TablePrinter::Fixed(out.miss_pct_after, 2) + " (" +
+                      TablePrinter::Fixed(out.miss_pct_before, 2) + ")",
+                  std::move(bounce)});
+  }
+  return table.ToString();
+}
+
+std::string WhatIfReportToJson(const WhatIfReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("whatif_version").Int(1);
+  json.Key("scenario").String(report.scenario);
+  json.Key("cores").Int(report.cores);
+  json.Key("collect_cycles").UInt(report.collect_cycles);
+  json.Key("baseline").BeginObject();
+  json.Key("requests").UInt(report.baseline_requests);
+  json.Key("throughput_rps").Number(report.baseline_rps);
+  json.Key("l1_misses").UInt(report.baseline_l1_misses);
+  json.Key("invalidation_misses").UInt(report.baseline_invalidation_misses);
+  json.EndObject();
+  json.Key("candidates").BeginArray();
+  for (const WhatIfOutcome& out : report.outcomes) {
+    json.BeginObject();
+    json.Key("type").String(out.candidate.type);
+    json.Key("fix").String(TypeTransformKindName(out.candidate.kind));
+    json.Key("requests").UInt(out.requests);
+    json.Key("throughput_rps").Number(out.throughput_rps);
+    json.Key("delta_rps").Number(out.delta_rps);
+    json.Key("delta_pct").Number(out.delta_pct);
+    json.Key("miss_pct_before").Number(out.miss_pct_before);
+    json.Key("miss_pct_after").Number(out.miss_pct_after);
+    json.Key("bounce_before").Bool(out.bounce_before);
+    json.Key("bounce_after").Bool(out.bounce_after);
+    json.Key("l1_miss_delta").Int(out.l1_miss_delta);
+    json.Key("invalidation_miss_delta").Int(out.invalidation_miss_delta);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dprof

@@ -1,0 +1,87 @@
+// The causal what-if engine behind `dprof whatif`.
+//
+// The paper locates cache bottlenecks; this answers "what does fixing one
+// buy you". Because the whole machine is simulated, the counterfactual is
+// run exactly, not estimated: a baseline profiled run, then one re-run per
+// candidate (a TypeTransform applied to one type), auto-diffed into a
+// ranked estimated-throughput-gain report. Candidate runs are independent
+// deterministic simulations, so they execute in parallel on host threads;
+// the report carries no wall-clock and is byte-identical for any thread
+// count.
+
+#ifndef DPROF_SRC_CLI_WHATIF_H_
+#define DPROF_SRC_CLI_WHATIF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cli/scenario_registry.h"
+
+namespace dprof {
+
+// One candidate fix: apply `kind` to the type named `type` and re-run.
+struct WhatIfCandidate {
+  std::string type;
+  TypeTransformKind kind = TypeTransformKind::kIdentity;
+
+  std::string Label() const { return type + ":" + TypeTransformKindName(kind); }
+};
+
+// The measured effect of one candidate, diffed against the baseline run.
+struct WhatIfOutcome {
+  WhatIfCandidate candidate;
+  uint64_t requests = 0;
+  double throughput_rps = 0.0;
+  double delta_rps = 0.0;
+  double delta_pct = 0.0;  // throughput gain over baseline, percent
+  // The transformed type's own profile row, before and after (miss share of
+  // all sampled misses; bounce = classified as bouncing between cores).
+  double miss_pct_before = 0.0;
+  double miss_pct_after = 0.0;
+  bool bounce_before = false;
+  bool bounce_after = false;
+  // Machine-wide counter deltas (variant minus baseline).
+  int64_t l1_miss_delta = 0;
+  int64_t invalidation_miss_delta = 0;
+};
+
+struct WhatIfReport {
+  std::string scenario;
+  int cores = 0;
+  uint64_t collect_cycles = 0;
+  uint64_t baseline_requests = 0;
+  double baseline_rps = 0.0;
+  uint64_t baseline_l1_misses = 0;
+  uint64_t baseline_invalidation_misses = 0;
+  // Baseline profile rows, for --auto candidate selection and the report.
+  std::vector<ScenarioProfileRow> baseline_profile;
+  // Ranked best-first: throughput gain desc, candidate label asc on ties.
+  std::vector<WhatIfOutcome> outcomes;
+};
+
+// The --auto search space: the top `top_n` types of `profile` crossed with
+// every transform kind (identity excluded). Allocator-internal and already
+// transformed types still appear — a no-op candidate simply ranks at the
+// bottom with a ~0 delta.
+std::vector<WhatIfCandidate> AutoCandidates(const std::vector<ScenarioProfileRow>& profile,
+                                            size_t top_n);
+
+// Runs the baseline and every candidate experiment, then ranks the diffs.
+// `base_spec` describes the shared run shape (cores, seed, cycles); its
+// transforms are the baseline's. Measurement runs disable phase-2 history
+// collection and view JSON so the throughput diff only sees the workload.
+// `base_spec.threads` sets the host-parallel candidate fan-out (0 = hardware
+// concurrency); each experiment itself runs single-threaded.
+WhatIfReport RunWhatIf(const ScenarioRegistry& registry, const std::string& scenario,
+                       const RunSpec& base_spec, const std::vector<WhatIfCandidate>& candidates);
+
+// Ranked human-readable table.
+std::string WhatIfReportToTable(const WhatIfReport& report);
+
+// Versioned machine-readable document ("whatif_version": 1). Carries no
+// wall-clock, so it is byte-identical across host thread counts.
+std::string WhatIfReportToJson(const WhatIfReport& report);
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_CLI_WHATIF_H_

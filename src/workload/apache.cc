@@ -180,7 +180,7 @@ class ApacheWorkload::CoreDriver final : public dprof::CoreDriver {
     ctx.LockRelease(q.lock(), f.qdisc_run);
     ctx.Read(f.dev_hard_start_xmit, tx_skb + 24, 40);
     ctx.Read(f.ixgbe_xmit_frame, tx_payload, 1024);
-    ctx.Write(f.ixgbe_xmit_frame, env_->netdev().stats_addr(), 16);
+    ctx.Write(f.ixgbe_xmit_frame, env_->netdev().stats_addr(ctx.core()), 16);
     ctx.Compute(f.ixgbe_xmit_frame, 150);
 
     // Worker goes back to sleep: futex wait.

@@ -34,19 +34,14 @@ class ConflictDemoWorkload::CoreDriver final : public dprof::CoreDriver {
     if (stride == 0) {
       stride = static_cast<uint32_t>(l2.NumSets() * l2.line_size);
     }
-    if (config_->spread_fix) {
-      // The paper's fix for conflict misses: spread allocations over many
-      // associativity sets.
-      stride += l2.line_size;
-    }
     // Reserve one private region per core and carve aliased objects out of
-    // it. RegisterStatic keeps the resolver aware of the type.
-    const uint64_t span = static_cast<uint64_t>(stride) * config_->hot_objects;
-    const Addr base =
-        env_->allocator().RegisterStatic(hot_type_, static_cast<uint32_t>(span));
-    for (int i = 0; i < config_->hot_objects; ++i) {
-      objects_.push_back(base + static_cast<uint64_t>(i) * stride);
-    }
+    // it. RegisterStaticArray keeps the resolver aware of the type and lets
+    // the hot type's layout transforms (pad_to_line repacks the run densely,
+    // recolor staggers elements across sets) undo the aliasing — the paper's
+    // conflict-miss fixes, expressed mechanically.
+    env_->allocator().RegisterStaticArray(hot_type_, config_->object_bytes,
+                                          static_cast<uint32_t>(config_->hot_objects), stride,
+                                          &objects_);
   }
 
   KernelEnv* env_;

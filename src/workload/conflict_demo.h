@@ -25,7 +25,9 @@ struct ConflictDemoConfig {
   // the target cache so all objects alias to the same set.
   uint32_t stride = 0;  // 0 = derive from the machine's L1 geometry
   uint32_t object_bytes = 64;
-  bool spread_fix = false;  // allocate at non-aliasing offsets instead
+  // The paper's conflict-miss fixes are applied through the allocator's
+  // TypeTransform API on the hot type ("pkt_stat"): pad_to_line repacks the
+  // run densely, recolor staggers elements across associativity sets.
 };
 
 class ConflictDemoWorkload final : public Workload {

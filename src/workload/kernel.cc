@@ -113,8 +113,13 @@ Packet TxQueue::PopLocked() {
   return p;
 }
 
-NetDevice::NetDevice(SlabAllocator& allocator, KernelTypes types)
-    : base_(allocator.RegisterStatic(types.net_device, 128)) {}
+NetDevice::NetDevice(SlabAllocator& allocator, KernelTypes types, int num_cores)
+    : replicated_(allocator.HasTransform(types.net_device, TypeTransformKind::kReplicate)),
+      line_size_(allocator.line_size()) {
+  const uint32_t size =
+      replicated_ ? 128 + static_cast<uint32_t>(num_cores) * line_size_ : 128;
+  base_ = allocator.RegisterStatic(types.net_device, size);
+}
 
 EpollInstance::EpollInstance(SlabAllocator& allocator, KernelTypes types, int core) {
   epitem_addr = allocator.RegisterStatic(types.epitem, 128);
@@ -128,8 +133,8 @@ KernelEnv::KernelEnv(Machine* machine, SlabAllocator* allocator)
       allocator_(allocator),
       types_(KernelTypes::Register(allocator->registry())),
       fns_(KernelFns::Intern(machine->symbols())) {
-  netdev_ = std::make_unique<NetDevice>(*allocator_, types_);
   const int cores = machine_->num_cores();
+  netdev_ = std::make_unique<NetDevice>(*allocator_, types_, cores);
   tx_queues_.reserve(cores);
   epolls_.reserve(cores);
   for (int c = 0; c < cores; ++c) {

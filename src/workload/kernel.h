@@ -106,17 +106,24 @@ class TxQueue {
 };
 
 // Shared network device state: the hot 128-byte net_device window whose
-// per-transmit statistics writes make it bounce between every core.
+// per-transmit statistics writes make it bounce between every core. Under
+// the net_device kReplicate transform the statistics area grows one private
+// cache line per core (the paper's per-CPU-counter fix), so each core's
+// stats writes stay on a line it owns.
 class NetDevice {
  public:
-  NetDevice(SlabAllocator& allocator, KernelTypes types);
+  NetDevice(SlabAllocator& allocator, KernelTypes types, int num_cores);
 
   Addr base() const { return base_; }
-  Addr stats_addr() const { return base_ + 64; }
+  Addr stats_addr(int core) const {
+    return replicated_ ? base_ + 128 + static_cast<Addr>(core) * line_size_ : base_ + 64;
+  }
   Addr config_addr() const { return base_; }
 
  private:
   Addr base_ = kNullAddr;
+  bool replicated_ = false;
+  uint32_t line_size_ = 64;
 };
 
 // Per-core epoll instance: the epoll lock, the waitqueue lock, and an epitem

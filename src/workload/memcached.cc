@@ -77,8 +77,8 @@ class MemcachedWorkload::CoreDriver final : public dprof::CoreDriver {
     ctx.Write(f.ixgbe_xmit_frame, pkt.skb + 96, 16);
     // Per-transmit statistics on the shared net_device: the true-sharing
     // hot line every core reads and writes.
-    ctx.Read(f.ixgbe_xmit_frame, env_->netdev().stats_addr(), 16);
-    ctx.Write(f.ixgbe_xmit_frame, env_->netdev().stats_addr(), 16);
+    ctx.Read(f.ixgbe_xmit_frame, env_->netdev().stats_addr(ctx.core()), 16);
+    ctx.Write(f.ixgbe_xmit_frame, env_->netdev().stats_addr(ctx.core()), 16);
     ctx.Compute(f.ixgbe_xmit_frame, 150);
     ctx.Compute(f.local_bh_enable, 40);
 
@@ -146,8 +146,8 @@ class MemcachedWorkload::CoreDriver final : public dprof::CoreDriver {
     ctx.Write(f.ixgbe_clean_rx_irq, rx_.skb, 128);
     ctx.Write(f.ixgbe_clean_rx_irq, rx_.payload, 128);  // GET request is small
     // Per-receive device statistics: the shared net_device hot line.
-    ctx.Read(f.ixgbe_clean_rx_irq, env_->netdev().stats_addr() + 16, 8);
-    ctx.Write(f.ixgbe_clean_rx_irq, env_->netdev().stats_addr() + 16, 8);
+    ctx.Read(f.ixgbe_clean_rx_irq, env_->netdev().stats_addr(ctx.core()) + 16, 8);
+    ctx.Write(f.ixgbe_clean_rx_irq, env_->netdev().stats_addr(ctx.core()) + 16, 8);
     ctx.Write(f.skb_put, rx_.skb + 8, 16);
 
     ctx.Read(f.eth_type_trans, rx_.payload, 16);

@@ -58,7 +58,7 @@ TEST(ScenarioRegistryTest, UnknownScenarioIsReported) {
 
 TEST(ScenarioRegistryTest, DuplicateRegistrationIsRejected) {
   ScenarioRegistry registry;
-  auto factory = [](const ScenarioParams&) { return std::unique_ptr<ScenarioRig>(); };
+  auto factory = [](const RunSpec&) { return std::unique_ptr<ScenarioRig>(); };
   EXPECT_TRUE(registry.Register("x", "first", factory));
   EXPECT_FALSE(registry.Register("x", "second", factory));
   EXPECT_EQ(registry.Find("x")->description, "first");
@@ -67,11 +67,11 @@ TEST(ScenarioRegistryTest, DuplicateRegistrationIsRejected) {
 TEST(ScenarioRegistryTest, CustomScenarioFactoryReceivesParams) {
   ScenarioRegistry registry;
   int seen_cores = 0;
-  registry.Register("probe", "records params", [&](const ScenarioParams& params) {
+  registry.Register("probe", "records params", [&](const RunSpec& params) {
     seen_cores = params.cores;
     return std::unique_ptr<ScenarioRig>();
   });
-  ScenarioParams params;
+  RunSpec params;
   params.cores = 5;
   registry.Find("probe")->factory(params);
   EXPECT_EQ(seen_cores, 5);
@@ -82,7 +82,7 @@ TEST(ScenarioRegistryTest, CustomScenarioFactoryReceivesParams) {
 TEST(ScenarioRunTest, ConflictDemoProducesProfile) {
   ScenarioRegistry registry;
   RegisterBuiltinScenarios(registry);
-  ScenarioParams params;
+  RunSpec params;
   params.cores = 2;
   params.collect_cycles = 3'000'000;
   const ScenarioReport report = RunScenario(registry, "conflict_demo", params);
@@ -102,7 +102,7 @@ TEST(ScenarioRunTest, ConflictDemoProducesProfile) {
 TEST(ScenarioRunTest, ReportJsonHasExpectedShape) {
   ScenarioRegistry registry;
   RegisterBuiltinScenarios(registry);
-  ScenarioParams params;
+  RunSpec params;
   params.cores = 2;
   params.collect_cycles = 2'000'000;
   const ScenarioReport report = RunScenario(registry, "conflict_demo", params);

@@ -13,7 +13,7 @@ namespace {
 // collection, view construction) through `dprof run`'s code path.
 std::string RunJson(const std::string& scenario, int cores, uint64_t cycles, int threads,
                     bool record_elision = true) {
-  ScenarioParams params;
+  RunSpec params;
   params.cores = cores;
   params.collect_cycles = cycles;
   params.threads = threads;

@@ -30,7 +30,7 @@ struct ShapePair {
 };
 
 ShapePair RunBoth(const std::string& scenario, uint64_t cycles) {
-  ScenarioParams params;
+  RunSpec params;
   params.cores = 8;
   params.collect_cycles = cycles;
   params.threads = 1;
@@ -162,7 +162,7 @@ TEST(EngineValidationTest, RecordElisionByteIdenticalPerScenario) {
   ScenarioRegistry& registry = ScenarioRegistry::Default();
   for (const std::string& name : registry.Names()) {
     SCOPED_TRACE("scenario: " + name);
-    ScenarioParams params;
+    RunSpec params;
     params.cores = 4;
     params.collect_cycles = 1'500'000;
     params.threads = 1;
@@ -185,7 +185,7 @@ TEST(EngineValidationTest, RecordElisionByteIdenticalPerScenario) {
 // 30-point band above merely tolerates). With focus, measured agreement is
 // within ~7 points; 15 leaves noise margin while still proving the claim.
 TEST(EngineValidationTest, MailboxFocusClosesPayloadMissDrift) {
-  ScenarioParams params;
+  RunSpec params;
   params.cores = 8;
   params.collect_cycles = 6'000'000;
   params.threads = 1;

@@ -235,7 +235,7 @@ TEST(EventSinkTest, DebugRegisterFilterWindow) {
 // byte-identical across thread counts (overlapped delivery included).
 TEST(EventSinkTest, ScenarioWithObserverDeterministicAcrossThreads) {
   auto run = [](int threads) {
-    ScenarioParams params;
+    RunSpec params;
     params.cores = 4;
     params.collect_cycles = 1'500'000;
     params.threads = threads;

@@ -63,7 +63,7 @@ TEST(GoldenStatsTest, LatticeMatchesRecordedBaselinePerScenario) {
       const ScenarioInfo* info = registry.Find(name);
       ASSERT_NE(info, nullptr);
 
-      ScenarioParams params;
+      RunSpec params;
       params.cores = 8;
       params.threads = 1;
       params.build_view_json = false;
