@@ -189,11 +189,134 @@ def check_table_6_3(text, c):
                 f"(rank {names.index('dev_queue_xmit') + 1})")
 
 
+def check_table_6_6(text, c):
+    """Lock-stat under Apache at drop-off: futex dominates, Qdisc is quiet
+    (all Apache handling is core-local, unlike the memcached tx path)."""
+    rows = parse_lock_rows(section(text, "Lock Name", "paper reference"))
+    c.check("lock table parsed", len(rows) >= 2, f"({len(rows)} rows)")
+    if not rows:
+        return
+    c.check("futex lock has the highest overhead", rows[0]["lock"] == "futex lock",
+            f"(top: {rows[0]['lock']})")
+    # Paper: 6.6% over a 30s hardware run. The simulated run is far shorter
+    # and the model distance is large, so the band is wide — but futex must
+    # stay materially contended.
+    c.near("futex lock overhead pct", rows[0]["overhead_pct"], 6.6, 15.0)
+    by_lock = {r["lock"]: r for r in rows}
+    if "Qdisc lock" in by_lock:
+        c.check("Qdisc lock quiet under Apache",
+                by_lock["Qdisc lock"]["overhead_pct"] < 1.0,
+                f"({by_lock['Qdisc lock']['overhead_pct']:.2f}%)")
+
+
+def parse_history_rows(text):
+    """Rows of the table-6.7 collection summary."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(
+            r"\s*(memcached|Apache)\s+(\S+)\s+(\d+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s*$",
+            line,
+        )
+        if m:
+            rows.append(
+                {
+                    "bench": m.group(1),
+                    "type": m.group(2),
+                    "size": int(m.group(3)),
+                    "histories": int(m.group(4)),
+                    "sets": int(m.group(5)),
+                    "time_s": float(m.group(6)),
+                    "overhead_pct": float(m.group(7)),
+                }
+            )
+    return rows
+
+
+def check_table_6_7(text, c):
+    """History collection: every tracked type yields histories, and the
+    paper's conclusion — collection overhead stays small (its worst row is
+    16%) — holds for the reproduction."""
+    rows = parse_history_rows(section(text, "Benchmark", "paper reference"))
+    c.check("history table parsed", len(rows) == 6, f"({len(rows)} rows)")
+    if not rows:
+        return
+    for r in rows:
+        c.check(f"{r['bench']}/{r['type']} collected histories",
+                r["histories"] >= 8, f"({r['histories']})")
+    worst = max(r["overhead_pct"] for r in rows)
+    c.check("collection overhead stays small", worst <= 25.0,
+            f"(worst {worst:.1f}%; paper worst 16%)")
+    types = {r["type"] for r in rows if r["bench"] == "Apache"}
+    c.check("Apache tracks tcp_sock", "tcp_sock" in types)
+
+
 SPECS = {
     "table_6_1_memcached_profile": check_table_6_1,
     "table_6_2_lockstat_memcached": check_table_6_2,
     "table_6_3_oprofile_memcached": check_table_6_3,
     "table_6_4_6_5_apache_profile": check_table_6_4_6_5,
+    "table_6_6_lockstat_apache": check_table_6_6,
+    "table_6_7_history_collection": check_table_6_7,
+}
+
+
+def check_sampled_scenario(dprof, c, scenario, expected_top):
+    """The sampled-mode run (statistical fast-forward) must reproduce the
+    exact run's data-profile conclusions: same dominant type, and every
+    reported per-type confidence interval covers the exact-mode share. The
+    tolerances are the intervals themselves — sampling widens them, it must
+    not move the conclusions."""
+    base = [dprof, "run", scenario, "--json",
+            "--cycles", "10000000", "--threads", "4"]
+    exact_proc = subprocess.run(base, capture_output=True, text=True)
+    sampled_proc = subprocess.run(base + ["--sampled"], capture_output=True, text=True)
+    c.check("exact run succeeded", exact_proc.returncode == 0)
+    c.check("sampled run succeeded", sampled_proc.returncode == 0)
+    if exact_proc.returncode != 0 or sampled_proc.returncode != 0:
+        return
+    exact = json.loads(exact_proc.stdout)
+    sampled = json.loads(sampled_proc.stdout)
+    s = sampled.get("sampling", {})
+    c.check("sampling block present", s.get("enabled") is True)
+    # FF epochs are coarse (ff_epoch_cycles) while detailed ones stay short,
+    # so compare work, not epoch counts: most accesses must be fast-forwarded.
+    c.check("run mostly fast-forwarded", s.get("scale", 0) >= 2.0,
+            f"(scale {s.get('scale', 0):.1f}x, ff_epochs {s.get('ff_epochs')})")
+    ex_rows = exact.get("profile", [])
+    sa_rows = sampled.get("profile", [])
+    c.check("profiles non-empty", bool(ex_rows) and bool(sa_rows))
+    if not ex_rows or not sa_rows:
+        return
+    top = expected_top if expected_top else ex_rows[0]["type"]
+    c.check(f"{top} tops both profiles",
+            ex_rows[0]["type"] == sa_rows[0]["type"] == top,
+            f"(exact: {ex_rows[0]['type']}, sampled: {sa_rows[0]['type']})")
+    ex_by = {r["type"]: r["miss_pct"] for r in ex_rows}
+    types = s.get("types", [])
+    c.check("per-type intervals reported", len(types) >= 5, f"({len(types)})")
+    shared = [t for t in types if t["type"] in ex_by]
+    covered = [t for t in shared if t["ci_lo"] <= ex_by[t["type"]] <= t["ci_hi"]]
+    c.check("intervals cover exact shares", len(covered) == len(shared),
+            f"({len(covered)}/{len(shared)})")
+    mr = s.get("l1_miss_rate", {})
+    h = exact.get("hierarchy", {})
+    if h.get("accesses"):
+        exact_mr = 100.0 * h["l1_misses"] / h["accesses"]
+        c.check("miss-rate interval covers exact rate",
+                mr.get("ci_lo", 0) <= exact_mr <= mr.get("ci_hi", 100),
+                f"(exact {exact_mr:.1f}%, ci [{mr.get('ci_lo', 0):.1f}, "
+                f"{mr.get('ci_hi', 100):.1f}])")
+
+
+# Checks that drive `dprof run` directly instead of a table bench. The
+# expected dominant types are this reproduction's exact-mode results for
+# the paper's workloads: table 6.1 ranks memcached's 1024-byte slab class
+# first; the Apache profile (tables 6.4-6.5 regime) is led by tcp_sock.
+RUN_SPECS = {
+    "sampled_run_memcached": lambda dprof, c: check_sampled_scenario(
+        dprof, c, "memcached", "size-1024"),
+    "sampled_run_apache": lambda dprof, c: check_sampled_scenario(
+        dprof, c, "apache", "tcp_sock"),
 }
 
 
@@ -203,9 +326,10 @@ def main():
     parser.add_argument("--only", default="", help="comma-separated table names")
     args = parser.parse_args()
 
+    all_names = set(SPECS) | set(RUN_SPECS)
     only = {name for name in args.only.split(",") if name}
-    names = sorted(only if only else SPECS.keys())
-    unknown = [n for n in names if n not in SPECS]
+    names = sorted(only if only else all_names)
+    unknown = [n for n in names if n not in all_names]
     if unknown:
         print(f"FAIL: no check spec for: {', '.join(unknown)}")
         return 1
@@ -213,6 +337,12 @@ def main():
     failed = []
     for name in names:
         print(f"== {name}")
+        if name in RUN_SPECS:
+            checker = Checker(name)
+            RUN_SPECS[name](args.dprof, checker)
+            if checker.failures:
+                failed.append(name)
+            continue
         proc = subprocess.run(
             [args.dprof, "bench", name, "--json"], capture_output=True, text=True
         )

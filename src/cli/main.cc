@@ -34,6 +34,12 @@
 //   --no-record-elision keep materializing full access records even for
 //                      epochs with no event consumer (run, whatif; output
 //                      is byte-identical either way — CI diffs the two)
+//   --sampled          statistical fast-forward: alternate short detailed
+//                      windows with functional-only stretches and report
+//                      scaled estimates with confidence intervals (run,
+//                      whatif; deterministic per seed and thread count)
+//   --sampling-period N  cycles between detailed windows (default 400000)
+//   --sampling-window N  detailed-window length in cycles (default 20000)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -74,6 +80,9 @@ int Usage(FILE* out) {
                "  --admission-control apache admission-control fix\n"
                "  --legacy-loop run on the legacy loop, not the engine (run)\n"
                "  --no-record-elision always materialize access records\n"
+               "  --sampled     statistical fast-forward with confidence intervals\n"
+               "  --sampling-period N  cycles between detailed windows (sampled)\n"
+               "  --sampling-window N  detailed-window length in cycles (sampled)\n"
                "  --seed N      machine seed (default 1)\n"
                "  --scale X     bench iteration scale (bench; default 1.0)\n");
   return out == stdout ? 0 : 2;
@@ -90,6 +99,9 @@ struct ParsedFlags {
   bool record_elision = true;
   bool local_tx_queue = false;
   bool admission_control = false;
+  bool sampled = false;
+  uint64_t sampling_period = 0;
+  uint64_t sampling_window = 0;
   std::string drill_type;
   // whatif candidate selection.
   bool auto_search = false;
@@ -110,6 +122,9 @@ RunSpec SpecFromFlags(const ParsedFlags& flags) {
   spec.build_view_json = flags.json;
   spec.local_tx_queue = flags.local_tx_queue;
   spec.admission_control = flags.admission_control;
+  spec.sampled = flags.sampled;
+  spec.sampling_period = flags.sampling_period;
+  spec.sampling_window = flags.sampling_window;
   return spec;
 }
 
@@ -174,6 +189,24 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
       flags->local_tx_queue = true;
     } else if (arg == "--admission-control") {
       flags->admission_control = true;
+    } else if (arg == "--sampled") {
+      flags->sampled = true;
+    } else if (arg == "--sampling-period") {
+      const char* v = next_value("--sampling-period");
+      if (v == nullptr || !ParseUInt("--sampling-period", v, &flags->sampling_period))
+        return false;
+      if (flags->sampling_period == 0) {
+        std::fprintf(stderr, "dprof: --sampling-period must be positive\n");
+        return false;
+      }
+    } else if (arg == "--sampling-window") {
+      const char* v = next_value("--sampling-window");
+      if (v == nullptr || !ParseUInt("--sampling-window", v, &flags->sampling_window))
+        return false;
+      if (flags->sampling_window == 0) {
+        std::fprintf(stderr, "dprof: --sampling-window must be positive\n");
+        return false;
+      }
     } else if (arg == "--scenario") {
       // Already consumed by FindScenarioArg; skip the value token.
       if (next_value("--scenario") == nullptr) return false;
@@ -297,7 +330,8 @@ int CmdRun(const std::vector<std::string>& args) {
   ParsedFlags flags;
   if (!ParseFlags(args, flag_start,
                   "--json --cores --cycles --threads --type --seed --legacy-loop "
-                  "--no-record-elision --local-tx-queue --admission-control --scenario",
+                  "--no-record-elision --local-tx-queue --admission-control "
+                  "--sampled --sampling-period --sampling-window --scenario",
                   &flags))
     return 2;
 
@@ -340,7 +374,8 @@ int CmdWhatIf(const std::vector<std::string>& args) {
   ParsedFlags flags;
   if (!ParseFlags(args, flag_start,
                   "--json --cores --cycles --threads --seed --no-record-elision --scenario "
-                  "--type --fix --auto --top --local-tx-queue --admission-control",
+                  "--type --fix --auto --top --local-tx-queue --admission-control "
+                  "--sampled --sampling-period --sampling-window",
                   &flags))
     return 2;
   if (flags.auto_search == !flags.candidates.empty()) {

@@ -180,6 +180,13 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     EngineConfig engine_config;
     engine_config.threads = spec.threads;
     engine_config.allow_record_elision = spec.record_elision;
+    engine_config.sampling.enabled = spec.sampled;
+    if (spec.sampling_period > 0) {
+      engine_config.sampling.period_cycles = spec.sampling_period;
+    }
+    if (spec.sampling_window > 0) {
+      engine_config.sampling.window_cycles = spec.sampling_window;
+    }
     engine = std::make_unique<Engine>(rig->machine.get(), engine_config);
     rig->machine->SetExecutor(engine.get());
   }
@@ -248,6 +255,45 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     report.profile.push_back(std::move(out));
   }
   report.profile_table = profile.ToTable(10);
+
+  if (engine != nullptr && engine->sampler() != nullptr) {
+    // Sampled run: scale the measured-window counters to full-run estimates
+    // and attach intervals. The hierarchy totals only ever saw detailed
+    // windows (fast-forward skips the lattice), so they ARE the
+    // measured-window counters; the IBS sample table is likewise fed only
+    // from detailed windows (counting hooks freeze across fast-forward).
+    const SamplingController& sc = *engine->sampler();
+    SamplingReport& s = report.sampling;
+    s.enabled = true;
+    s.period_cycles = sc.config().period_cycles;
+    s.window_cycles = sc.config().window_cycles;
+    s.seed = sc.config().seed;
+    s.detailed_epochs = sc.detailed_epochs();
+    s.ff_epochs = sc.ff_epochs();
+    s.measured_accesses = sc.measured_accesses();
+    s.ff_accesses = sc.ff_accesses();
+    s.scale = sc.Scale();
+    s.confidence = 0.99;
+    s.l1_miss_rate =
+        SamplingController::WilsonCI(report.hierarchy.l1_misses, report.hierarchy.accesses,
+                                     SamplingController::kMissRateFloorPct);
+    const uint64_t miss_samples = session.samples().l1_miss_samples();
+    const auto by_type = session.samples().AggregateByType();
+    for (const DataProfileRow& row : profile.rows()) {
+      const auto it = by_type.find(row.type);
+      const uint64_t k = it != by_type.end() ? it->second.l1_misses : 0;
+      const SamplingInterval ci = SamplingController::WilsonCI(
+          k, miss_samples, SamplingController::kTypeShareFloorPct);
+      SamplingReport::TypeInterval out;
+      out.type = row.name;
+      out.miss_pct = row.miss_pct;
+      out.ci_lo = ci.lo;
+      out.ci_hi = ci.hi;
+      out.miss_samples = k;
+      s.types.push_back(std::move(out));
+    }
+  }
+
   const std::vector<MissClassRow> miss_rows = session.ClassifyMisses();
   report.miss_class_table = MissClassifier::ToTable(miss_rows);
 
@@ -285,6 +331,39 @@ std::string ScenarioReportToJson(const ScenarioReport& report) {
   json.Key("tag_reclaims").UInt(report.hierarchy.tag_reclaims);
   json.Key("back_invalidations").UInt(report.hierarchy.back_invalidations);
   json.EndObject();
+  // Emitted only on sampled runs, so exact-mode documents are byte-for-byte
+  // what pre-sampling builds produced (golden fingerprints, whatif identity).
+  if (report.sampling.enabled) {
+    const SamplingReport& s = report.sampling;
+    json.Key("sampling").BeginObject();
+    json.Key("enabled").Bool(true);
+    json.Key("period_cycles").UInt(s.period_cycles);
+    json.Key("window_cycles").UInt(s.window_cycles);
+    json.Key("seed").UInt(s.seed);
+    json.Key("detailed_epochs").UInt(s.detailed_epochs);
+    json.Key("ff_epochs").UInt(s.ff_epochs);
+    json.Key("measured_accesses").UInt(s.measured_accesses);
+    json.Key("ff_accesses").UInt(s.ff_accesses);
+    json.Key("scale").Number(s.scale);
+    json.Key("confidence").Number(s.confidence);
+    json.Key("l1_miss_rate").BeginObject();
+    json.Key("estimate").Number(s.l1_miss_rate.estimate);
+    json.Key("ci_lo").Number(s.l1_miss_rate.lo);
+    json.Key("ci_hi").Number(s.l1_miss_rate.hi);
+    json.EndObject();
+    json.Key("types").BeginArray();
+    for (const SamplingReport::TypeInterval& t : s.types) {
+      json.BeginObject();
+      json.Key("type").String(t.type);
+      json.Key("miss_pct").Number(t.miss_pct);
+      json.Key("ci_lo").Number(t.ci_lo);
+      json.Key("ci_hi").Number(t.ci_hi);
+      json.Key("miss_samples").UInt(t.miss_samples);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
   json.Key("profile").BeginArray();
   for (const ScenarioProfileRow& row : report.profile) {
     json.BeginObject();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/dprof/session.h"
+#include "src/machine/sampling.h"
 #include "src/workload/kernel.h"
 
 namespace dprof {
@@ -85,6 +86,14 @@ struct RunSpec {
   // Per-type drill-down: also collect histories for this type (by name) and
   // include its path traces in the report.
   std::string drill_type;
+  // Sampled execution (statistical fast-forward): the engine alternates
+  // short detailed windows with fast-forward stretches and the report gains
+  // a "sampling" block with scaled estimates + confidence intervals. Exact
+  // mode (sampled=false) stays the golden reference. period/window of 0 keep
+  // the SamplingConfig defaults.
+  bool sampled = false;
+  uint64_t sampling_period = 0;
+  uint64_t sampling_window = 0;
 };
 
 using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const RunSpec&)>;
@@ -134,6 +143,34 @@ struct ScenarioProfileRow {
   double avg_miss_latency = 0.0;
 };
 
+// Sampled-mode estimates: measured-window counters scaled to full-run
+// estimates, with confidence intervals. Only populated (and only emitted
+// into the JSON document) when RunSpec::sampled is set, so exact-mode
+// reports stay byte-identical to pre-sampling builds.
+struct SamplingReport {
+  bool enabled = false;
+  uint64_t period_cycles = 0;
+  uint64_t window_cycles = 0;
+  uint64_t seed = 0;
+  uint64_t detailed_epochs = 0;
+  uint64_t ff_epochs = 0;
+  uint64_t measured_accesses = 0;
+  uint64_t ff_accesses = 0;
+  double scale = 1.0;       // full-run / measured-window access ratio
+  double confidence = 0.0;  // two-sided level of the intervals, e.g. 0.99
+  // Overall L1 miss rate of the measured windows (percent of accesses).
+  SamplingInterval l1_miss_rate;
+  struct TypeInterval {
+    std::string type;
+    double miss_pct = 0.0;  // share of sampled L1 misses, percent
+    double ci_lo = 0.0;
+    double ci_hi = 0.0;
+    uint64_t miss_samples = 0;
+  };
+  // Per-type miss-share intervals, in profile order (desc. miss_pct).
+  std::vector<TypeInterval> types;
+};
+
 // The result of `dprof run`: throughput plus the data-profile summary.
 struct ScenarioReport {
   std::string scenario;
@@ -163,6 +200,9 @@ struct ScenarioReport {
   // in the JSON document; deterministic for any host thread count, and the
   // fingerprint the golden stats-equivalence test pins per scenario.
   HierarchyTotals hierarchy;
+
+  // Sampled-mode estimates (RunSpec::sampled runs only).
+  SamplingReport sampling;
 
   // Host-side engine phase timing for the run (zeroed on the legacy loop).
   // Deliberately excluded from ScenarioReportToJson: wall-clock varies with

@@ -99,6 +99,9 @@ Engine::Engine(Machine* machine, const EngineConfig& config)
     threads_ = 1;
   }
   num_shards_ = machine_->hierarchy().num_shards();
+  if (config_.sampling.enabled) {
+    sampler_ = std::make_unique<SamplingController>(config_.sampling);
+  }
   const int cores = machine_->num_cores();
   recorders_.resize(cores);
   blocked_on_.assign(cores, nullptr);
@@ -219,26 +222,68 @@ void Engine::RunFor(uint64_t cycles) {
     // committed stream — is identical for every host thread count).
     const uint64_t epoch =
         m.epoch_focus() ? config_.epoch_cycles_focus : config_.epoch_cycles;
-    RunEpoch(std::min(deadline, min_clock + epoch));
+    RunEpoch(min_clock, deadline, epoch);
   }
   // Settle in-flight observer delivery before the caller can read observer
   // state: RunFor's boundary is the only synchronization point callers see.
   WaitDeliveryIdle();
 }
 
-void Engine::RunEpoch(uint64_t epoch_end) {
+void Engine::RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycles) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
-  // The elision gate reads only committed machine state, so the choice —
-  // like everything downstream of it — is identical for every thread count.
-  elide_epoch_ = config_.allow_record_elision && ElisionEligible();
+  // The sampling schedule is a function of the committed min-clock, and the
+  // elision gate reads only committed machine state, so both choices — like
+  // everything downstream of them — are identical for every thread count.
+  // Observers force detailed epochs: fast-forward has no events to deliver,
+  // so a sampled run with observers attached would silently starve them.
+  const bool want_detailed = sampler_ == nullptr || sampler_->BeginEpoch(min_clock);
+  ff_epoch_ = !want_detailed && m.observers_.empty();
+  // Fast-forward stretches coarsen the epoch: they skip the apply phase and
+  // deliver no events, so the usual epoch granularity only buys overhead.
+  // The stretch ends at the next detailed window (FfRunway) and at the
+  // config cap; both are functions of the committed clock, so the epoch
+  // schedule stays identical for every thread count.
+  uint64_t epoch_end = std::min(deadline, min_clock + epoch_cycles);
+  if (ff_epoch_) {
+    const uint64_t stretch =
+        std::max(epoch_cycles, std::min(sampler_->FfRunway(min_clock),
+                                        sampler_->config().ff_epoch_cycles));
+    epoch_end = std::min(deadline, min_clock + stretch);
+  }
+  const ElideMode elide_mode =
+      ff_epoch_ ? ElideMode::kOff : ElisionMode();
+  elide_epoch_ = elide_mode == ElideMode::kFull;
+  // Fast-forward epochs snapshot the union of armed filter windows so
+  // watchpoint-covered addresses keep recording dispatchable ops. Windows
+  // armed mid-epoch (by an alloc-event handler) see their accesses from the
+  // next epoch on — a documented approximation of sampled mode.
+  Addr ff_lo = 0;
+  Addr ff_hi = 0;
+  if (ff_epoch_) {
+    for (PmuHook* hook : m.pmu_hooks_) {
+      Addr lo = 0;
+      Addr hi = 0;
+      if (hook->AccessFilter(&lo, &hi)) {
+        if (ff_lo == ff_hi) {
+          ff_lo = lo;
+          ff_hi = hi;
+        } else {
+          ff_lo = std::min(ff_lo, lo);
+          ff_hi = std::max(ff_hi, hi);
+        }
+      }
+    }
+  }
+  const size_t record_shards = shard_apply_ && !ff_epoch_ ? num_shards_ : 0;
   for (int c = 0; c < cores; ++c) {
     CoreRecorder& rec = recorders_[c];
     // Calibrate the core's lower-bound cost model from the epoch just
     // committed: measured access-attributable clock advance (latency + PMU
     // interrupts + lock waits) over the raw estimate. Smoothed 3:1 to damp
     // oscillation; pure function of committed state, so identical for any
-    // thread count.
+    // thread count. Fast-forwarded epochs leave raw_access_cost at zero, so
+    // their estimated advances never feed back into the scale.
     const uint64_t advance = m.clocks_[c] - rec.epoch_start_clock;
     if (rec.raw_access_cost > 0 && advance > rec.exact_cost) {
       uint64_t scale16 = ((advance - rec.exact_cost) * 16) / rec.raw_access_cost;
@@ -246,18 +291,36 @@ void Engine::RunEpoch(uint64_t epoch_end) {
       rec.cost_scale16 =
           static_cast<uint32_t>((3ull * rec.cost_scale16 + scale16) / 4);
     }
-    rec.Reset(m.clocks_[c], shard_apply_ ? num_shards_ : 0, elide_epoch_);
+    rec.Reset(m.clocks_[c], record_shards);
+    if (ff_epoch_) {
+      rec.ff = true;
+      rec.ff_lo = ff_lo;
+      rec.ff_hi = ff_hi;
+    } else if (elide_mode == ElideMode::kFull) {
+      rec.elide = true;
+      rec.elide_budget = ~0ull;
+    } else if (elide_mode == ElideMode::kPrefix) {
+      uint64_t budget = PmuHook::kQuietUnbounded;
+      for (PmuHook* hook : m.pmu_hooks_) {
+        budget = std::min(budget, hook->QuietOps(c));
+      }
+      if (budget > 0) {
+        rec.elide = true;
+        rec.elide_budget = budget;
+      }
+    }
   }
   const auto t0 = Clock::now();
   ParallelFor(cores, [&](int core) { SimulateCore(core, epoch_end); });
   const auto t1 = Clock::now();
-  if (shard_apply_) {
-    ParallelFor(static_cast<int>(num_shards_),
-                [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
-  } else if (elide_epoch_) {
-    ApplyGlobalElided();
-  } else {
-    ApplyGlobal();
+  // Fast-forward epochs never touch the hierarchy: no apply pass at all.
+  if (!ff_epoch_) {
+    if (shard_apply_) {
+      ParallelFor(static_cast<int>(num_shards_),
+                  [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
+    } else {
+      ApplyGlobal();
+    }
   }
   const auto t2 = Clock::now();
   CommitEpoch();
@@ -279,27 +342,44 @@ void Engine::RunEpoch(uint64_t epoch_end) {
   if (elide_epoch_) {
     ++phase_stats_.elided_epochs;
   }
+  if (ff_epoch_) {
+    ++phase_stats_.ff_epochs;
+  }
   ++epochs_run_;
+  if (sampler_ != nullptr) {
+    uint64_t accesses = 0;
+    for (int c = 0; c < cores; ++c) {
+      accesses += recorders_[c].accesses;
+    }
+    sampler_->EndEpoch(!ff_epoch_, m.MinClock() - min_clock, accesses);
+  }
 }
 
-bool Engine::ElisionEligible() const {
+Engine::ElideMode Engine::ElisionMode() const {
   const Machine& m = *machine_;
-  if (!m.observers_.empty() || m.elision_inhibitors() > 0) {
-    return false;
+  if (!config_.allow_record_elision) {
+    return ElideMode::kOff;
   }
+  if (!m.observers_.empty() || m.elision_inhibitors() > 0) {
+    return ElideMode::kOff;
+  }
+  bool bounded = false;
   for (PmuHook* hook : m.pmu_hooks_) {
     Addr lo = 0;
     Addr hi = 0;
     if (hook->AccessFilter(&lo, &hi)) {
-      return false;  // an armed watchpoint window wants per-access checks
+      return ElideMode::kOff;  // an armed watchpoint window wants per-access checks
     }
     for (int c = 0; c < m.num_cores(); ++c) {
       if (hook->QuietOps(c) != PmuHook::kQuietUnbounded) {
-        return false;  // a countdown could expire inside the epoch
+        bounded = true;  // a countdown could expire inside the epoch
       }
     }
   }
-  return true;
+  // Bounded countdowns still guarantee a quiet prefix per core: stream that
+  // prefix through the ring, record from the first access a hook could act
+  // on.
+  return bounded ? ElideMode::kPrefix : ElideMode::kFull;
 }
 
 void Engine::SimulateCore(int core, uint64_t epoch_end) {
@@ -330,7 +410,6 @@ void Engine::ApplyShard(uint32_t shard) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
   const int qbits = config_.apply_quantum_bits;
-  const bool elided = elide_epoch_;
   uint64_t keys[kMaxCores];
   size_t cursor[kMaxCores] = {0};
   ApplyLane window[kApplyWindow];
@@ -339,13 +418,20 @@ void Engine::ApplyShard(uint32_t shard) {
   for (int c = 0; c < kMaxCores; ++c) {
     keys[c] = kDoneKey;
   }
+  // Shard-list entries are ring indices (kRingTag set: ring-streamed
+  // accesses of elide epochs and prefixes) or lane indices (recorded
+  // accesses); the tag picks the gather source and the scatter target, so
+  // one merge handles pure and mixed epochs alike.
+  auto entry_t = [](const CoreRecorder& rec, uint32_t e) {
+    return (e & CoreRecorder::kRingTag) != 0
+               ? rec.epoch_start_clock + rec.ring[e & ~CoreRecorder::kRingTag].t_delta
+               : rec.lane[e].t;
+  };
   for (int c = 0; c < cores; ++c) {
     const CoreRecorder& rec = recorders_[c];
     const auto& list = rec.shard_ops[shard];
     if (!list.empty()) {
-      const uint64_t t0 = elided ? rec.epoch_start_clock + rec.ring[list[0]].t_delta
-                                 : rec.lane[list[0]].t;
-      keys[c] = PackKey(t0 >> qbits, c);
+      keys[c] = PackKey(entry_t(rec, list[0]) >> qbits, c);
       ++remaining;
     }
   }
@@ -362,36 +448,27 @@ void Engine::ApplyShard(uint32_t shard) {
       // shard-list order) into the window, then batch-apply and scatter the
       // packed results back.
       uint32_t nw = 0;
-      if (elided) {
-        do {
-          const uint32_t ri = list[cursor[core]];
-          window[nw] = rec.ring[ri];
-          scatter[nw] = ri;
-          ++nw;
-          key = ++cursor[core] < list.size()
-                    ? PackKey((base + rec.ring[list[cursor[core]]].t_delta) >> qbits,
-                              core)
-                    : kDoneKey;
-        } while (key < limit && nw < kApplyWindow);
-        m.hierarchy_.ApplyBatch(core, base, window, nw);
-        for (uint32_t j = 0; j < nw; ++j) {
-          rec.ring[scatter[j]].size_w = window[j].size_w;
-        }
-      } else {
-        do {
-          const uint32_t li = list[cursor[core]];
-          const CoreRecorder::Lane& lane = rec.lane[li];
+      do {
+        const uint32_t e = list[cursor[core]];
+        if ((e & CoreRecorder::kRingTag) != 0) {
+          window[nw] = rec.ring[e & ~CoreRecorder::kRingTag];
+        } else {
+          const CoreRecorder::Lane& lane = rec.lane[e];
           DPROF_CHECK(lane.t - base <= 0xffff'ffffull);  // silent wrap would corrupt merge order
           window[nw] =
               ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
-          scatter[nw] = li;
-          ++nw;
-          key = ++cursor[core] < list.size()
-                    ? PackKey(rec.lane[list[cursor[core]]].t >> qbits, core)
-                    : kDoneKey;
-        } while (key < limit && nw < kApplyWindow);
-        m.hierarchy_.ApplyBatch(core, base, window, nw);
-        for (uint32_t j = 0; j < nw; ++j) {
+        }
+        scatter[nw] = e;
+        ++nw;
+        key = ++cursor[core] < list.size()
+                  ? PackKey(entry_t(rec, list[cursor[core]]) >> qbits, core)
+                  : kDoneKey;
+      } while (key < limit && nw < kApplyWindow);
+      m.hierarchy_.ApplyBatch(core, base, window, nw);
+      for (uint32_t j = 0; j < nw; ++j) {
+        if ((scatter[j] & CoreRecorder::kRingTag) != 0) {
+          rec.ring[scatter[j] & ~CoreRecorder::kRingTag].size_w = window[j].size_w;
+        } else {
           rec.lane[scatter[j]].result = window[j].size_w;
         }
       }
@@ -408,11 +485,20 @@ void Engine::ApplyShard(uint32_t shard) {
 // exactly the per-shard suborder on every shard, so the results are
 // bit-identical to the shard-parallel pass — without recording shard lists
 // or making one merge pass per shard over near-empty lists.
+//
+// Each core's access stream is its elision ring (every entry streamed while
+// the elide budget held — the whole epoch when fully elided) followed by its
+// recorded lane accesses; the ring is a strict time-prefix of the lanes, so
+// a per-core (ring cursor, lane cursor) pair walks the concatenation in
+// order. Ring drains hand contiguous slices to ApplyBatch in place (no
+// gather, no scatter — the packed results land directly in the ring); lane
+// drains gather into a window and scatter results back.
 void Engine::ApplyGlobal() {
   Machine& m = *machine_;
   const int cores = m.num_cores();
   const int qbits = config_.apply_quantum_bits;
   uint64_t keys[kMaxCores];
+  size_t ring_cursor[kMaxCores] = {0};
   uint32_t cursor[kMaxCores] = {0};
   int remaining = 0;
   for (int c = 0; c < kMaxCores; ++c) {
@@ -428,11 +514,21 @@ void Engine::ApplyGlobal() {
     }
     return from;
   };
+  auto key_of = [&](const CoreRecorder& rec, int c) {
+    if (ring_cursor[c] < rec.ring_n) {
+      return PackKey(
+          (rec.epoch_start_clock + rec.ring[ring_cursor[c]].t_delta) >> qbits, c);
+    }
+    if (cursor[c] < rec.size()) {
+      return PackKey(rec.lane[cursor[c]].t >> qbits, c);
+    }
+    return kDoneKey;
+  };
   for (int c = 0; c < cores; ++c) {
     const CoreRecorder& rec = recorders_[c];
     cursor[c] = next_access(rec, 0);
-    if (cursor[c] < rec.size()) {
-      keys[c] = PackKey(rec.lane[cursor[c]].t >> qbits, c);
+    keys[c] = key_of(rec, c);
+    if (keys[c] != kDoneKey) {
       ++remaining;
     }
   }
@@ -447,6 +543,20 @@ void Engine::ApplyGlobal() {
     const uint64_t limit = MinKey(keys, cores);
     uint64_t key;
     do {
+      if (ring_cursor[core] < rec.ring_n) {
+        // Ring times are nondecreasing, so the drain is the contiguous
+        // slice up to the first entry at or past the limit quantum.
+        const size_t begin = ring_cursor[core];
+        size_t end = begin + 1;
+        while (end < rec.ring_n &&
+               PackKey((base + rec.ring[end].t_delta) >> qbits, core) < limit) {
+          ++end;
+        }
+        m.hierarchy_.ApplyBatch(core, base, rec.ring + begin, end - begin);
+        ring_cursor[core] = end;
+        key = key_of(rec, core);
+        continue;
+      }
       uint32_t nw = 0;
       do {
         const uint32_t li = cursor[core];
@@ -465,59 +575,6 @@ void Engine::ApplyGlobal() {
         rec.lane[scatter[j]].result = window[j].size_w;
       }
     } while (key < limit);
-    keys[core] = key;
-    if (key == kDoneKey) {
-      --remaining;
-    }
-  }
-}
-
-// Elided-epoch single-thread apply: every access of the epoch lives in the
-// per-core rings, contiguous and already in the ApplyLane span format, so
-// each merge drain is handed to ApplyBatch in place — no gather, no
-// scatter; the packed results land directly in the ring for the commit
-// pass. The merge order is the same (t >> quantum, core, program order)
-// function of the recorded streams as the lane-based passes.
-void Engine::ApplyGlobalElided() {
-  Machine& m = *machine_;
-  const int cores = m.num_cores();
-  const int qbits = config_.apply_quantum_bits;
-  uint64_t keys[kMaxCores];
-  size_t cursor[kMaxCores] = {0};
-  int remaining = 0;
-  for (int c = 0; c < kMaxCores; ++c) {
-    keys[c] = kDoneKey;
-  }
-  for (int c = 0; c < cores; ++c) {
-    const CoreRecorder& rec = recorders_[c];
-    if (rec.ring_n > 0) {
-      keys[c] = PackKey((rec.epoch_start_clock + rec.ring[0].t_delta) >> qbits, c);
-      ++remaining;
-    }
-  }
-  while (remaining > 0) {
-    const int core = static_cast<int>(MinKey(keys, cores) & kCoreMask);
-    CoreRecorder& rec = recorders_[core];
-    const uint64_t base = rec.epoch_start_clock;
-    keys[core] = kDoneKey;
-    const uint64_t limit = MinKey(keys, cores);
-    // Ring times are nondecreasing, so the drain is the contiguous slice up
-    // to the first entry at or past the limit quantum.
-    const size_t begin = cursor[core];
-    size_t end = begin + 1;
-    uint64_t key = kDoneKey;
-    while (end < rec.ring_n) {
-      key = PackKey((base + rec.ring[end].t_delta) >> qbits, core);
-      if (key >= limit) {
-        break;
-      }
-      ++end;
-    }
-    if (end >= rec.ring_n) {
-      key = kDoneKey;
-    }
-    m.hierarchy_.ApplyBatch(core, base, rec.ring + begin, end - begin);
-    cursor[core] = end;
     keys[core] = key;
     if (key == kDoneKey) {
       --remaining;
@@ -642,7 +699,8 @@ void Engine::CommitEpoch() {
         // Commits the segment up to the next sync op, stopping at (and
         // re-arbitrating before) any access a PMU hook can act on — unless
         // that access is the op just arbitrated, which dispatches now.
-        cursor = CommitRun(core, cursor, next_sync);
+        cursor = ff_epoch_ ? CommitRunFf(core, cursor, next_sync)
+                           : CommitRun(core, cursor, next_sync);
       }
       if (cursor >= count) {
         key = kDoneKey;
@@ -772,11 +830,17 @@ uint32_t Engine::CommitRun(int core, uint32_t begin, uint32_t end) {
         EmitAccess(MakeAccessEvent(core, lane, metas[i].ip, latency, clock));
       }
     } else if (k == SimOp::kElidedRun) {
-      // Elision is gated on nothing being able to consume these accesses
-      // for the whole epoch, so no event assembly, hook consultation, or
-      // quiet accounting applies — only the clock and probe sums.
+      // A run streamed under the quiet budget: no hook could act on any of
+      // these accesses (the budget is the epoch-start countdown guarantee,
+      // and elided runs precede every recorded access in program order), so
+      // the run only needs the clock/probe sums plus bulk quiet accounting
+      // — the countdowns must still retire these accesses so the first
+      // recorded access past the prefix samples exactly as without elision.
       const ApplyLane* run = rec.ring + lanes[i].addr;
       const uint32_t count = lanes[i].size_w;
+      DPROF_DCHECK(quiet >= count);
+      quiet -= count;
+      skipped += count;
       uint64_t lat = 0;
       for (uint32_t j = 0; j < count; ++j) {
         lat += PackedAccessLatency(run[j].size_w);
@@ -811,6 +875,92 @@ uint32_t Engine::CommitRun(int core, uint32_t begin, uint32_t end) {
   probe_active_[core] = probing;
   gate_quiet_[core] = quiet;
   gate_skipped_[core] = skipped;
+  return i;
+}
+
+// Fast-forward commit: the epoch ran functional-only, so there are no apply
+// results to reconstruct from — kFfRun markers carry the accumulated
+// estimated charge, and the only kAccess ops are filter-window overlaps
+// recorded with a prefilled estimate. Counting hooks are frozen (no quiet
+// accounting, no OnAccess): IBS samples come exclusively from detailed
+// windows so the sample population matches the measured denominator. There
+// are never observers in a fast-forwarded epoch, so no events are emitted.
+uint32_t Engine::CommitRunFf(int core, uint32_t begin, uint32_t end) {
+  Machine& m = *machine_;
+  CoreRecorder& rec = recorders_[core];
+  const CoreRecorder::Lane* const lanes = rec.lane;
+  const CoreRecorder::Meta* const metas = rec.meta;
+  uint64_t clock = m.clocks_[core];
+  uint64_t probe_lat = probe_latency_[core];
+  uint8_t probing = probe_active_[core];
+  const uint64_t base_cost = m.config_.base_op_cost;
+  uint32_t i = begin;
+  for (; i < end; ++i) {
+    const uint8_t k = metas[i].kind & CoreRecorder::kKindMask;
+    if (k == SimOp::kFfRun) {
+      const uint64_t count = lanes[i].addr;
+      const uint64_t est = lanes[i].payload();
+      clock += est;
+      if (probing != 0) {
+        // The estimate is base cost + estimated latency per access; probes
+        // integrate the latency share.
+        probe_lat += est - count * base_cost;
+      }
+    } else if (k == SimOp::kAccess) {
+      const CoreRecorder::Lane& lane = lanes[i];
+      const uint32_t size = lane.size_w & ~CoreRecorder::kWriteBit;
+      bool needs_hook = false;
+      for (const FusedSink::Filtered& f : sink_.filtered) {
+        if (lane.addr < f.hi && f.lo < lane.addr + size) {
+          needs_hook = true;
+          break;
+        }
+      }
+      if (needs_hook && i != begin) {
+        break;  // an arbitration point: hand back to the scheduler
+      }
+      const uint32_t latency = CoreRecorder::ResultLatency(lane.result);
+      clock += base_cost + latency;
+      if (probing != 0) {
+        probe_lat += latency;
+      }
+      if (needs_hook) {
+        m.clocks_[core] = clock;
+        const AccessEvent event =
+            MakeAccessEvent(core, lane, metas[i].ip, latency, clock);
+        // Filtered hooks only — the watching debug registers see the access
+        // at its estimated latency; counting hooks stay untouched.
+        for (const FusedSink::Filtered& f : sink_.filtered) {
+          if (lane.addr < f.hi && f.lo < lane.addr + size) {
+            const uint64_t extra = f.hook->OnAccess(event);
+            if (extra != 0) {
+              m.clocks_[core] += extra;
+            }
+          }
+        }
+        // A handler may have (dis)armed a window.
+        ResyncSink();
+        RefreshQuiet(core);
+        clock = m.clocks_[core];
+      }
+    } else if (k == SimOp::kCompute || k == SimOp::kIdle) {
+      clock += lanes[i].payload();
+    } else if (k == SimOp::kProbeBegin) {
+      probing = 1;
+      probe_lat = 0;
+    } else {
+      DPROF_DCHECK(k == SimOp::kProbeEnd);
+      probing = 0;
+      double divisor = 1.0;
+      const uint64_t bits = lanes[i].payload();
+      __builtin_memcpy(&divisor, &bits, sizeof(double));
+      reinterpret_cast<RunningStat*>(lanes[i].addr)
+          ->Add(static_cast<double>(probe_lat) / divisor);
+    }
+  }
+  m.clocks_[core] = clock;
+  probe_latency_[core] = probe_lat;
+  probe_active_[core] = probing;
   return i;
 }
 

@@ -66,11 +66,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/machine/machine.h"
+#include "src/machine/sampling.h"
 
 namespace dprof {
 
@@ -99,13 +101,23 @@ struct EngineConfig {
   // Record elision: an epoch whose machine state, read at epoch start,
   // proves that no consumer can act on any access event (no observers, no
   // armed access filter, every counting PMU hook unbounded-quiet, no
-  // elision inhibitor held — see Engine::ElisionEligible) streams its
+  // elision inhibitor held — see Engine::ElisionMode) streams its
   // accesses through a compact 16-byte per-core ring straight into the
   // batch applier instead of materializing the 24-byte lane + 8-byte meta
   // records. The committed stream is bit-identical either way (the apply
   // merge order and clock reconstruction are unchanged); this knob exists
   // so tests and CI can force the recorded path and diff the two.
   bool allow_record_elision = true;
+  // Sampled execution (statistical fast-forward): when enabled, a
+  // SamplingController alternates detailed windows (full hierarchy walks +
+  // event delivery — exactly the exact-mode semantics) with fast-forward
+  // stretches where accesses advance clocks through the calibrated per-core
+  // cost estimate and skip the tag lattice entirely. Allocator state,
+  // lock/sync arbitration, and armed watchpoint windows stay exact; the
+  // window schedule is a pure function of committed clocks, so sampled runs
+  // stay byte-identical across --threads values. Epochs with observers
+  // attached always run detailed.
+  SamplingConfig sampling{};
 };
 
 // Host wall-clock spent in each engine phase, accumulated across epochs.
@@ -118,7 +130,8 @@ struct EnginePhaseStats {
   double commit_seconds = 0.0;
   double deliver_seconds = 0.0;
   uint64_t epochs = 0;
-  uint64_t elided_epochs = 0;  // epochs that streamed accesses record-elided
+  uint64_t elided_epochs = 0;  // epochs that streamed every access record-elided
+  uint64_t ff_epochs = 0;      // epochs fast-forwarded by the sampling controller
 };
 
 class Engine final : public Executor {
@@ -141,6 +154,9 @@ class Engine final : public Executor {
   const EngineConfig& config() const { return config_; }
   uint64_t epochs_run() const { return epochs_run_; }
   const EnginePhaseStats& phase_stats() const { return phase_stats_; }
+  // Non-null when sampled execution is enabled; exposes the measured-window
+  // accounting the report layer turns into scaled estimates + intervals.
+  const SamplingController* sampler() const { return sampler_.get(); }
 
  private:
   // Observer/PMU capability snapshot the commit pass branches on per run
@@ -178,19 +194,27 @@ class Engine final : public Executor {
     }
   };
 
-  void RunEpoch(uint64_t epoch_end);
+  // Runs one epoch starting at the committed min-clock. `epoch_cycles` is the
+  // nominal epoch length; fast-forward epochs stretch it (bounded by the
+  // sampler's runway and config cap) to amortize per-epoch overhead.
+  void RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycles);
   void SimulateCore(int core, uint64_t epoch_end);
   void ApplyShard(uint32_t shard);
   void ApplyGlobal();
-  void ApplyGlobalElided();
   void CommitEpoch();
 
-  // True when the machine's observer/hook state at epoch start proves that
-  // no access of the coming epoch can be consumed (event, sample, or
-  // watchpoint) — the record-elision gate. Hook and observer sets change
-  // only between RunFor calls, and mid-epoch arming from commit callbacks
-  // is excluded by Machine::elision_inhibitors.
-  bool ElisionEligible() const;
+  // What the record-elision gate allows for the coming epoch, read from the
+  // machine's observer/hook state at epoch start. kFull: no consumer can act
+  // on any access (no observers, no armed filter, every counting hook
+  // unbounded-quiet, no inhibitor held) — every access streams through the
+  // ring. kPrefix: same, except some counting hook has a bounded quiet
+  // countdown — each core streams its countdown-guaranteed quiet prefix and
+  // records the rest. kOff: a consumer (observer, armed filter, inhibitor)
+  // forces full records. Hook and observer sets change only between RunFor
+  // calls, and mid-epoch arming from commit callbacks is excluded by
+  // Machine::elision_inhibitors.
+  enum class ElideMode { kOff, kPrefix, kFull };
+  ElideMode ElisionMode() const;
 
   // Commits ops of `core` starting at `begin` within a sync-free segment
   // ending at `end`, advancing the core's committed clock in place. Stops
@@ -199,6 +223,13 @@ class Engine final : public Executor {
   // `begin` itself, already arbitrated, dispatches immediately. Returns
   // `end` when the whole segment committed.
   uint32_t CommitRun(int core, uint32_t begin, uint32_t end);
+  // CommitRun for a fast-forwarded epoch: kFfRun markers advance the clock
+  // by their accumulated estimate; the only dispatchable accesses are the
+  // filter-window overlaps recorded with prefilled results, and they go to
+  // the filtered hooks only — counting hooks (IBS) are frozen across
+  // fast-forward stretches so sample counts stay proportional to measured
+  // windows.
+  uint32_t CommitRunFf(int core, uint32_t begin, uint32_t end);
   // Commits the sync op at `index`; returns false when the core parked on a
   // lock whose release is still pending (op not consumed).
   bool CommitSyncOp(int core, uint32_t index);
@@ -230,9 +261,13 @@ class Engine final : public Executor {
   // Shard-parallel apply when worker threads exist; fused single merge
   // (bit-identical results, no shard lists) otherwise.
   bool shard_apply_ = false;
-  // This epoch streams accesses through the elision rings (set per epoch
-  // from the gate above; identical for every host thread count).
+  // This epoch streams every access through the elision rings (set per
+  // epoch from the gate above; identical for every host thread count).
   bool elide_epoch_ = false;
+  // This epoch fast-forwards (sampled execution; mutually exclusive with
+  // elide_epoch_ — fast-forward wins, there is nothing to elide).
+  bool ff_epoch_ = false;
+  std::unique_ptr<SamplingController> sampler_;
   std::vector<CoreRecorder> recorders_;
   uint64_t epochs_run_ = 0;
   EnginePhaseStats phase_stats_;

@@ -130,27 +130,59 @@ AccessResult CoreContext::Access(FunctionId ip, Addr addr, uint32_t size, bool i
 
   if (recorder_ != nullptr) {
     // Engine mode: queue one op per line chunk; results resolve at commit.
+    CoreRecorder& rec = *recorder_;
     const uint32_t l1_latency = m.config_.hierarchy.latency.l1;
     const uint32_t raw_cost = m.config_.base_op_cost + l1_latency;
     const uint32_t write_bit = is_write ? CoreRecorder::kWriteBit : 0u;
     AccessResult total;
     Addr at = addr;
     uint32_t remaining = size;
-    const bool elide = recorder_->elide;
+    if (rec.ff) {
+      // Fast-forward: charge the calibrated estimate, skip the hierarchy.
+      // Accesses inside the armed filter window snapshot still record real
+      // kAccess ops (with the estimate prefilled as the result) so commit
+      // can dispatch them to the watching hook.
+      while (remaining > 0) {
+        const uint32_t line_room =
+            static_cast<uint32_t>(line_size - (at & (line_size - 1)));
+        const uint32_t chunk = remaining < line_room ? remaining : line_room;
+        ++rec.accesses;
+        const uint64_t t = rec.lb;
+        const uint64_t est = rec.ChargeFf(raw_cost);
+        if (at < rec.ff_hi && at + chunk > rec.ff_lo) {
+          const uint64_t extra =
+              est > m.config_.base_op_cost ? est - m.config_.base_op_cost : 0;
+          rec.PushFfAccess(t, at, chunk | write_bit,
+                           CoreRecorder::PackResult(static_cast<uint32_t>(extra),
+                                                    ServedBy::kL1, false),
+                           ip);
+        } else {
+          rec.PushFfRun(t, est);
+        }
+        total.latency += l1_latency;
+        ++total.lines;
+        at += chunk;
+        remaining -= chunk;
+      }
+      return total;
+    }
     while (remaining > 0) {
       const uint32_t line_room =
           static_cast<uint32_t>(line_size - (at & (line_size - 1)));
       const uint32_t chunk = remaining < line_room ? remaining : line_room;
-      if (recorder_->record_shards) {
-        recorder_->shard_ops[m.hierarchy_.ShardOf(at)].push_back(static_cast<uint32_t>(
-            elide ? recorder_->ring_n : recorder_->size()));
+      const bool use_ring = rec.elide & (rec.elide_budget > 0);
+      ++rec.accesses;
+      if (rec.record_shards) {
+        rec.shard_ops[m.hierarchy_.ShardOf(at)].push_back(static_cast<uint32_t>(
+            use_ring ? (rec.ring_n | CoreRecorder::kRingTag) : rec.size()));
       }
-      if (elide) {
-        recorder_->PushElidedAccess(recorder_->lb, at, chunk | write_bit);
+      if (use_ring) {
+        --rec.elide_budget;
+        rec.PushElidedAccess(rec.lb, at, chunk | write_bit);
       } else {
-        recorder_->PushAccess(recorder_->lb, at, chunk | write_bit, ip);
+        rec.PushAccess(rec.lb, at, chunk | write_bit, ip);
       }
-      recorder_->ChargeAccess(raw_cost);
+      rec.ChargeAccess(raw_cost);
       total.latency += l1_latency;
       ++total.lines;
       at += chunk;

@@ -251,6 +251,8 @@ struct SimOp {
     kProbeEnd,         // addr = RunningStat*, aux = divisor bits
     kElidedRun,        // engine-internal run of elided accesses: addr = first
                        // ring index, size_w = count (see CoreRecorder::ring)
+    kFfRun,            // engine-internal fast-forwarded run: addr = access
+                       // count, payload = estimated cycles (sampled mode)
     kLockAcquire,      // addr = SimLock*; wait + acquire callback at commit
     kLockRelease,      // addr = SimLock*
     kAllocEvent,       // addr = base, aux = type<<32 | size
@@ -327,10 +329,9 @@ class CoreRecorder {
   }
 
   // num_shards == 0 disables shard-list recording (single-thread apply).
-  // elide_accesses routes accesses into the 16-byte ring (see `ring` below);
-  // the engine turns it on only for epochs that provably have no event
-  // consumer.
-  void Reset(uint64_t committed_clock, size_t num_shards, bool elide_accesses) {
+  // The engine sets the per-epoch mode fields (elide/elide_budget for ring
+  // streaming, ff/ff_lo/ff_hi for fast-forward) after Reset.
+  void Reset(uint64_t committed_clock, size_t num_shards) {
     n = 0;
     sync_points.clear();
     record_shards = num_shards > 0;
@@ -340,9 +341,14 @@ class CoreRecorder {
     for (auto& list : shard_ops) {
       list.clear();
     }
-    elide = elide_accesses;
+    elide = false;
+    elide_budget = 0;
+    ff = false;
+    ff_lo = kNullAddr;
+    ff_hi = kNullAddr;
     ring_n = 0;
     run_open = false;
+    accesses = 0;
     lb = committed_clock;
     epoch_start_clock = committed_clock;
     raw_access_cost = 0;
@@ -381,6 +387,38 @@ class CoreRecorder {
     lane[n] = Lane{t, addr, size_w, 0};
     meta[n] = Meta{ip, SimOp::kAccess, {0, 0, 0}};
     ++n;
+    run_open = false;
+  }
+  // Fast-forward push with a prefilled apply result: the access never walks
+  // the hierarchy, but a hook filter window overlaps it, so commit needs a
+  // real kAccess op to dispatch. The result carries the estimated latency at
+  // level kL1 (the lower bound; sampled mode trades this precision away).
+  void PushFfAccess(uint64_t t, Addr addr, uint32_t size_w, uint32_t result,
+                    FunctionId ip) {
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    lane[n] = Lane{t, addr, size_w, result};
+    meta[n] = Meta{ip, SimOp::kAccess, {0, 0, 0}};
+    ++n;
+    run_open = false;
+  }
+  // Fast-forwarded run marker: addr accumulates the access count, the
+  // payload accumulates the estimated cycle charge. Coalesced like elided
+  // runs so a quiet fast-forward epoch records O(1) ops.
+  void PushFfRun(uint64_t t, uint64_t est) {
+    if (run_open) {
+      ++lane[n - 1].addr;
+      lane[n - 1].set_payload(lane[n - 1].payload() + est);
+      return;
+    }
+    if (__builtin_expect(n == capacity, 0)) {
+      Grow();
+    }
+    lane[n] = Lane{t, 1, static_cast<uint32_t>(est), static_cast<uint32_t>(est >> 32)};
+    meta[n] = Meta{kInvalidFunction, SimOp::kFfRun, {0, 0, 0}};
+    ++n;
+    run_open = true;
   }
   void PushCycles(SimOp::Kind kind, uint64_t t, uint64_t cycles, FunctionId ip) {
     if (__builtin_expect(n == capacity, 0)) {
@@ -452,6 +490,16 @@ class CoreRecorder {
     lb += (static_cast<uint64_t>(raw) * cost_scale16) >> 4;
     raw_access_cost += raw;
   }
+  // Fast-forward charge: same calibrated estimate as ChargeAccess, but the
+  // raw cost is NOT accumulated — the epoch-end calibration divides committed
+  // cost by raw_access_cost, and a fast-forwarded epoch's committed cost IS
+  // the estimate, so feeding it back would lock the scale in place. Leaving
+  // raw_access_cost at 0 makes the calibration skip fast-forward epochs.
+  uint64_t ChargeFf(uint32_t raw) {
+    const uint64_t est = (static_cast<uint64_t>(raw) * cost_scale16) >> 4;
+    lb += est;
+    return est;
+  }
   void ChargeExact(uint64_t cycles) {
     lb += cycles;
     exact_cost += cycles;
@@ -471,11 +519,27 @@ class CoreRecorder {
   size_t ring_n = 0;
   size_t ring_capacity = 0;
   bool elide = false;
-  bool run_open = false;  // last pushed op is this epoch's open kElidedRun
+  // Remaining ring-eligible accesses this epoch. Full elision sets ~0ull;
+  // bounded-quiet (prefix) elision sets the countdown-guaranteed quiet run
+  // (min PmuHook::QuietOps across hooks at epoch start) so accesses past the
+  // budget fall back to recorded lanes and can take their PMU interrupts.
+  uint64_t elide_budget = 0;
+  // Fast-forward mode (sampled execution): accesses charge the calibrated
+  // estimate and coalesce into kFfRun markers instead of walking the
+  // hierarchy at apply time. Accesses overlapping [ff_lo, ff_hi) — the armed
+  // hook filter window snapshotted at epoch start — still record real
+  // kAccess ops (with prefilled results) so watchpoints keep firing.
+  bool ff = false;
+  Addr ff_lo = kNullAddr;
+  Addr ff_hi = kNullAddr;
+  bool run_open = false;  // last op is this epoch's open kElidedRun/kFfRun
+  uint64_t accesses = 0;  // line-chunk accesses recorded this epoch (any mode)
   std::vector<uint32_t> sync_points;
-  // Indices of kAccess ops (elide epochs: ring indices) per hierarchy
-  // shard, in program order; filled only when record_shards
-  // (shard-parallel apply).
+  // Indices of kAccess ops per hierarchy shard, in program order; filled
+  // only when record_shards (shard-parallel apply). Ring-streamed accesses
+  // are tagged kRingTag and index the ring instead of the lanes, so mixed
+  // prefix-elision epochs keep one uniform per-shard list.
+  static constexpr uint32_t kRingTag = 1u << 31;
   bool record_shards = false;
   std::vector<std::vector<uint32_t>> shard_ops;
   uint64_t lb = 0;

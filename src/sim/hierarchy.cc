@@ -47,7 +47,6 @@ void CacheHierarchy::Level::Init(const CacheGeometry& geometry, int num_cores) {
   const size_t slots = static_cast<size_t>(num_cores) * sets * ways;
   tags.assign(slots, kNoLine);
   stamps.assign(slots, 0);
-  excl.assign(slots, 0);
 }
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) {
@@ -95,7 +94,7 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) 
 int CacheHierarchy::ProbeRow(const Level& level, size_t row, uint64_t line) {
   const uint64_t* tags = &level.tags[row];
   for (uint32_t w = 0; w < level.ways; ++w) {
-    if (tags[w] == line) {
+    if ((tags[w] & kPrivTagMask) == line) {
       return static_cast<int>(w);
     }
   }
@@ -105,7 +104,6 @@ int CacheHierarchy::ProbeRow(const Level& level, size_t row, uint64_t line) {
 void CacheHierarchy::RemoveAt(Level& level, size_t slot) {
   level.tags[slot] = kNoLine;
   level.stamps[slot] = 0;
-  level.excl[slot] = 0;
 }
 
 // One tag-only pass produces both the probe result and the fill candidate:
@@ -120,7 +118,7 @@ CacheHierarchy::RowScan CacheHierarchy::ScanRow(const Level& level, size_t row,
   int free = -1;
   for (uint32_t w = 0; w < level.ways; ++w) {
     const uint64_t tag = tags[w];
-    if (tag == line) {
+    if ((tag & kPrivTagMask) == line) {
       scan.way = static_cast<int>(w);
       return scan;
     }
@@ -148,12 +146,11 @@ uint32_t CacheHierarchy::FillAt(Level& level, size_t row, const RowScan& scan,
         w = i;
       }
     }
-    *victim = level.tags[row + w];
+    *victim = level.tags[row + w] & kPrivTagMask;
   }
   const size_t slot = row + w;
-  level.tags[slot] = line;
+  level.tags[slot] = line;  // a fresh fill is never exclusive
   level.stamps[slot] = now;
-  level.excl[slot] = 0;
   return w;
 }
 
@@ -382,6 +379,7 @@ void CacheHierarchy::InvalidateFrom(int c, uint64_t line, WayMeta* meta) {
   meta->sharers &= ~(1u << c);
   if (meta->owner == c) {
     meta->owner = -1;
+    meta->excl_levels = 0;  // the owner's tagged copies just left with it
   }
 }
 
@@ -410,18 +408,23 @@ void CacheHierarchy::WriteUpgrade(int core, uint64_t line, uint64_t set, int slo
     l3_tags_[set * l3_ways_ + slot] |= kDirOnlyBit;
   }
   // Sole modified owner: later write hits can skip the directory entirely.
+  // The exclusive bit lives in the tag word the probe already loaded, and
+  // the directory word remembers which levels got the grant (an L2 grant
+  // covers L1 too: an exclusive L2 propagates its bit into an L1 refill
+  // without a directory access), so the downgrade path probes only rows
+  // that can actually carry the bit.
+  uint8_t excl_levels = 0;
   if (l1_way >= 0) {
-    l1_.excl[l1_.RowOf(core, line) + static_cast<uint64_t>(l1_way)] = 1;
+    l1_.tags[l1_.RowOf(core, line) + static_cast<uint64_t>(l1_way)] |= kPrivExclBit;
+    excl_levels |= 1;
   }
   const size_t row2 = l2_.RowOf(core, line);
-  if (l2_way >= 0) {
-    l2_.excl[row2 + static_cast<uint64_t>(l2_way)] = 1;
-  } else {
-    const int w2 = ProbeRow(l2_, row2, line);
-    if (w2 >= 0) {
-      l2_.excl[row2 + static_cast<uint32_t>(w2)] = 1;
-    }
+  const int w2 = l2_way >= 0 ? static_cast<int>(l2_way) : ProbeRow(l2_, row2, line);
+  if (w2 >= 0) {
+    l2_.tags[row2 + static_cast<uint32_t>(w2)] |= kPrivExclBit;
+    excl_levels |= 3;
   }
+  meta->excl_levels = excl_levels;
 }
 
 void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t victim,
@@ -440,8 +443,11 @@ void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t v
   WayMeta* meta = MetaAt(set, scan.slot);
   meta->sharers &= ~(1u << c);
   if (meta->owner == c) {
-    // Dirty victim: write back into the shared L3.
+    // Dirty victim: write back into the shared L3. Both private copies are
+    // gone (the eviction took one, the probe above cleared the other), so
+    // no exclusive tag survives anywhere.
     meta->owner = -1;
+    meta->excl_levels = 0;
     PromoteToData(set, scan, victim, now);
   } else if (!meta->HasState()) {
     // A stateless dir-only tag tracks nothing; free the way it occupies.
@@ -467,7 +473,7 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
   if (scan1.way >= 0) {
     const size_t slot1 = row1 + static_cast<uint32_t>(scan1.way);
     l1_.stamps[slot1] = now;
-    if (!kWrite || l1_.excl[slot1] != 0) {
+    if (!kWrite || (l1_.tags[slot1] & kPrivExclBit) != 0) {
       return ServedBy::kL1;  // read hit, or write hit on an owned line
     }
     const uint64_t set = line & l3_set_mask_;
@@ -481,14 +487,14 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
   if (scan2.way >= 0) {
     const size_t slot2 = row2 + static_cast<uint32_t>(scan2.way);
     l2_.stamps[slot2] = now;
-    const bool exclusive = l2_.excl[slot2] != 0;
+    const bool exclusive = (l2_.tags[slot2] & kPrivExclBit) != 0;
     uint64_t victim = kNoLine;
     const uint32_t l1_way = FillAt(l1_, row1, scan1, line, now, &victim);
     if (victim != kNoLine) {
       HandlePrivateEviction(core, l2_, victim, now);
     }
     if (exclusive) {
-      l1_.excl[row1 + l1_way] = 1;
+      l1_.tags[row1 + l1_way] |= kPrivExclBit;
       return ServedBy::kL2;  // already sole modified owner, reads and writes alike
     }
     if (kWrite) {
@@ -525,18 +531,25 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
     if (!kWrite) {
       // The owner keeps a shared, no-longer-exclusive copy. (On a write the
       // upgrade below invalidates the owner's copies outright, so clearing
-      // their exclusive bits first would be wasted probes.)
-      const size_t orow1 = l1_.RowOf(owner, line);
-      const int ow1 = ProbeRow(l1_, orow1, line);
-      if (ow1 >= 0) {
-        l1_.excl[orow1 + static_cast<uint32_t>(ow1)] = 0;
+      // their exclusive bits first would be wasted probes.) The directory's
+      // level hints say which private rows can carry the bit at all, so
+      // only those are probed.
+      if ((meta->excl_levels & 1) != 0) {
+        const size_t orow1 = l1_.RowOf(owner, line);
+        const int ow1 = ProbeRow(l1_, orow1, line);
+        if (ow1 >= 0) {
+          l1_.tags[orow1 + static_cast<uint32_t>(ow1)] &= ~kPrivExclBit;
+        }
       }
-      const size_t orow2 = l2_.RowOf(owner, line);
-      const int ow2 = ProbeRow(l2_, orow2, line);
-      if (ow2 >= 0) {
-        l2_.excl[orow2 + static_cast<uint32_t>(ow2)] = 0;
+      if ((meta->excl_levels & 2) != 0) {
+        const size_t orow2 = l2_.RowOf(owner, line);
+        const int ow2 = ProbeRow(l2_, orow2, line);
+        if (ow2 >= 0) {
+          l2_.tags[orow2 + static_cast<uint32_t>(ow2)] &= ~kPrivExclBit;
+        }
       }
     }
+    meta->excl_levels = 0;
   } else if (slot >= 0 && static_cast<uint32_t>(slot) < l3_ways_ &&
              l3_tags_[set_base + slot] == line) {
     level = ServedBy::kL3;
@@ -752,10 +765,8 @@ ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
 void CacheHierarchy::FlushAll() {
   std::fill(l1_.tags.begin(), l1_.tags.end(), kNoLine);
   std::fill(l1_.stamps.begin(), l1_.stamps.end(), 0);
-  std::fill(l1_.excl.begin(), l1_.excl.end(), 0);
   std::fill(l2_.tags.begin(), l2_.tags.end(), kNoLine);
   std::fill(l2_.stamps.begin(), l2_.stamps.end(), 0);
-  std::fill(l2_.excl.begin(), l2_.excl.end(), 0);
   std::fill(l3_tags_.begin(), l3_tags_.end(), kNoLine);
   std::fill(l3_stamps_.begin(), l3_stamps_.end(), 0);
   std::fill(l3_meta_.begin(), l3_meta_.end(), WayMeta());

@@ -256,6 +256,15 @@ class CacheHierarchy {
 #endif
   }
   static constexpr uint64_t kNoLine = ~0ull;
+  // Exclusive-owner bit packed into private (L1/L2) tag words: the line is
+  // held by this core as sole modified owner, so write hits skip the
+  // directory. Packing it into the tag removes the separate exclusive-bit
+  // column the walk used to touch — write upgrades and the foreign-read
+  // downgrade or/and-not the bit in the tag word the probe already loaded.
+  // Line numbers are < 2^58 and kNoLine keeps the bit set, so masked
+  // compares below never collide.
+  static constexpr uint64_t kPrivExclBit = 1ull << 62;
+  static constexpr uint64_t kPrivTagMask = kPrivExclBit - 1;
   // High tag bit marking an in-place dir-only residue in a data way: the
   // line's data left the L3 (write upgrade), but its tag and embedded
   // directory state stay put. Such a way reads as free to fills — exactly
@@ -272,9 +281,10 @@ class CacheHierarchy {
     uint32_t ways = 0;
     uint64_t sets = 0;
     uint64_t set_mask = 0;
-    std::vector<uint64_t> tags;    // [core][set][way]; kNoLine = invalid
+    // [core][set][way]; kNoLine = invalid. A valid tag may carry
+    // kPrivExclBit (sole modified owner).
+    std::vector<uint64_t> tags;
     std::vector<uint64_t> stamps;  // LRU stamp per way
-    std::vector<uint8_t> excl;     // exclusive-owner bit per way
 
     void Init(const CacheGeometry& geometry, int num_cores);
     size_t RowOf(int core, uint64_t line) const {
@@ -287,6 +297,14 @@ class CacheHierarchy {
     uint32_t sharers = 0;           // cores whose private caches may hold the line
     uint32_t invalidated_from = 0;  // cores that lost the line to a remote write
     int8_t owner = -1;              // core with a dirty copy, or -1
+    // Level-presence hint for the owner's exclusive grant: bit 0 = the
+    // owner's L1 may carry kPrivExclBit, bit 1 = its L2 may. Granting L2
+    // sets both bits (an exclusive L2 silently propagates its bit to an L1
+    // refill, with no directory access), so a clear bit guarantees that
+    // level holds no exclusive tag — the foreign-read downgrade skips its
+    // probe. Fits the struct's padding byte, so the directory word stays
+    // 12 bytes.
+    uint8_t excl_levels = 0;
 
     bool HasState() const {
       return sharers != 0 || invalidated_from != 0 || owner >= 0;
