@@ -1,6 +1,9 @@
 #include "src/alloc/slab_allocator.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/machine/faults.h"
 
 namespace dprof {
 namespace {
@@ -9,6 +12,18 @@ namespace {
 // elements) start one line later, modulo this, spreading hot same-offset
 // fields across eight associativity sets.
 constexpr uint32_t kColorCycle = 8;
+
+// Emergency slab reserve past max_slabs_per_arena: reaching the configured
+// bound sets a sticky kResourceExhausted status instead of aborting, and the
+// reserve keeps the in-flight epoch's allocations memory-safe until the
+// engine polls the status at the epoch boundary and stops the run. Reserved
+// up front with the rest of the arena, so growth never reallocates under
+// concurrent cross-core address resolution.
+constexpr uint32_t kEmergencySlabs = 64;
+
+// GrowCache failure sentinel (never a valid slab id: arenas are bounded far
+// below it).
+constexpr uint32_t kGrowFailed = ~0u;
 
 }  // namespace
 
@@ -44,7 +59,7 @@ SlabAllocator::SlabAllocator(Machine* machine, TypeRegistry* registry, const Sla
     arena.bump = arena.base;
     arena.limit = arena.base + config_.arena_stride;
     arena.pages.assign(pages_per_arena, PageInfo());
-    arena.slabs.reserve(config_.max_slabs_per_arena);
+    arena.slabs.reserve(config_.max_slabs_per_arena + kEmergencySlabs);
   }
 }
 
@@ -189,7 +204,29 @@ void SlabAllocator::PrepareParallel(int num_cores) {
   }
 }
 
-uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc) {
+uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc,
+                                  bool allow_fault) {
+  Arena& arena = arenas_[ctx.core()];
+  // Injected transient grow failure: keyed on (core, slab ordinal) only, so
+  // faulted runs stay bit-identical across host thread counts. The caller
+  // (Refill) charges the reclaim pass the kernel would run and retries with
+  // allow_fault off.
+  FaultPlan* const faults = machine_->fault_plan();
+  if (allow_fault && faults != nullptr &&
+      faults->SlabGrowFails(ctx.core(), arena.slabs.size())) {
+    return kGrowFailed;
+  }
+  if (arena.slabs.size() >= config_.max_slabs_per_arena) {
+    // Genuine exhaustion: report instead of aborting. Growth continues into
+    // the preallocated emergency reserve so the epoch in flight stays
+    // memory-safe; the engine polls status() at the epoch boundary and
+    // stops the run with this diagnostic.
+    std::lock_guard<std::mutex> lk(status_mu_);
+    status_.Update(Status(StatusCode::kResourceExhausted, "slab_grow",
+                          "core " + std::to_string(ctx.core()) + " arena reached " +
+                              std::to_string(config_.max_slabs_per_arena) +
+                              " slabs (max_slabs_per_arena)"));
+  }
   // kAlign pads past the on-slab header to a line boundary; kRecolor sizes
   // the slab for the worst-case color so every colored slab still fits at
   // least one object.
@@ -200,8 +237,7 @@ uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCac
   const uint32_t num_pages = (span + config_.page_size - 1) / config_.page_size;
   const uint32_t bytes = num_pages * config_.page_size;
 
-  Arena& arena = arenas_[ctx.core()];
-  DPROF_CHECK(arena.slabs.size() < config_.max_slabs_per_arena);
+  DPROF_CHECK(arena.slabs.size() < config_.max_slabs_per_arena + kEmergencySlabs);
   const uint32_t slab_id = static_cast<uint32_t>(arena.slabs.size());
   const uint32_t color_off =
       cache.color_lines > 0 ? (slab_id % cache.color_lines) * line_size_ : 0;
@@ -237,7 +273,13 @@ void SlabAllocator::Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc)
   uint32_t want = config_.batch_count;
   while (want > 0) {
     if (pc.partial.empty()) {
-      GrowCache(ctx, cache, pc);
+      if (GrowCache(ctx, cache, pc, /*allow_fault=*/true) == kGrowFailed) {
+        // Transient injected OOM: charge the shrink/reclaim walk the kernel
+        // would run before retrying, then grow for real.
+        ctx.Compute(fn_grow_, 400);
+        machine_->fault_plan()->NoteRecovered(FaultSeam::kSlabGrow);
+        GrowCache(ctx, cache, pc, /*allow_fault=*/false);
+      }
     }
     const uint32_t slab_id = pc.partial.back();
     Slab& slab = arena.slabs[slab_id];

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -109,6 +110,13 @@ class SlabAllocator : public AllocatorIface {
                         uint64_t now) override;
   void CommitFreeEvent(TypeId type, Addr base, uint32_t size, int core, uint64_t now,
                        bool alien) override;
+  // Sticky: set on genuine arena exhaustion (the injected transient grow
+  // failures recover and never surface here). Cores may exhaust
+  // concurrently during the parallel phase, hence the lock.
+  Status status() const override {
+    std::lock_guard<std::mutex> lk(status_mu_);
+    return status_;
+  }
 
   // Maps any address (interior pointers included) to its containing object.
   // Works for slab objects, slab headers, allocator metadata, and static
@@ -236,7 +244,10 @@ class SlabAllocator : public AllocatorIface {
   const PageInfo* PageFor(Addr addr) const;
 
   KmemCache& CacheFor(TypeId type);
-  uint32_t GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
+  // Adds one slab to the calling core's arena. With allow_fault, an armed
+  // kSlabGrow fault plan may veto the growth (transient OOM); returns the
+  // failure sentinel and the caller retries after charging reclaim work.
+  uint32_t GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc, bool allow_fault);
   void Refill(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
   void FlushMagazine(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
   void DrainAlien(CoreContext& ctx, KmemCache& cache, PerCoreCache& pc);
@@ -268,6 +279,9 @@ class SlabAllocator : public AllocatorIface {
   std::vector<MetaRange> statics_;      // RegisterStatic entries, in order
   std::vector<AllocationObserver*> observers_;
   AllocatorTypeStats empty_stats_;
+
+  mutable std::mutex status_mu_;
+  Status status_;
 };
 
 }  // namespace dprof

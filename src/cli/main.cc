@@ -4,6 +4,9 @@
 //   dprof run <scenario> [flags]    — profile a scenario, print the summary
 //   dprof whatif <scenario> [flags] — re-run with candidate fixes, rank gains
 //   dprof bench <name> [flags]      — run a registered benchmark
+//   dprof crashtest [flags]         — fault-injection matrix: every scenario
+//                                     x every seam must recover or produce a
+//                                     structured diagnostic, never crash
 //
 // All subcommands share one flag parser that fills a RunSpec; each declares
 // which flags it honours, so an inapplicable flag errors instead of being
@@ -40,6 +43,17 @@
 //                      whatif; deterministic per seed and thread count)
 //   --sampling-period N  cycles between detailed windows (default 400000)
 //   --sampling-window N  detailed-window length in cycles (default 20000)
+//   --audit N          verify the tag-lattice invariants every N engine
+//                      epochs; violations end the run with a structured
+//                      diagnostic (run; healthy output is byte-identical
+//                      with or without auditing)
+//   --fault SEAMS      deterministic fault injection: comma-separated seam
+//                      list or "all" (run; see `dprof crashtest` for names)
+//   --fault-seed N     seed salting every fault decision (run)
+//   --watchdog-stall-epochs N  end the run with a diagnostic after N epochs
+//                      without clock progress (run; default 256)
+//   --watchdog-seconds X  wall-clock budget before the watchdog ends the
+//                      run with a diagnostic (run; default 300)
 //   --seed N           machine seed (default 1)
 //   --scale X          bench iteration scale factor (default 1.0)
 
@@ -52,6 +66,7 @@
 #include <vector>
 
 #include "src/cli/bench_registry.h"
+#include "src/cli/crashtest.h"
 #include "src/cli/scenario_registry.h"
 #include "src/cli/whatif.h"
 
@@ -67,6 +82,7 @@ int Usage(FILE* out) {
                "  run <scenario> [flags]      profile a scenario end to end\n"
                "  whatif <scenario> [flags]   rank candidate fixes by measured gain\n"
                "  bench <name> [flags]        run a registered benchmark\n"
+               "  crashtest [flags]           scenario x fault-seam recovery matrix\n"
                "\n"
                "flags:\n"
                "  --json        machine-readable output\n"
@@ -83,6 +99,11 @@ int Usage(FILE* out) {
                "  --sampled     statistical fast-forward with confidence intervals\n"
                "  --sampling-period N  cycles between detailed windows (sampled)\n"
                "  --sampling-window N  detailed-window length in cycles (sampled)\n"
+               "  --audit N     verify tag-lattice invariants every N epochs (run)\n"
+               "  --fault SEAMS comma-separated fault seams, or 'all' (run)\n"
+               "  --fault-seed N  seed for fault decisions (run)\n"
+               "  --watchdog-stall-epochs N  stall budget before diagnostic (run)\n"
+               "  --watchdog-seconds X  wall-clock budget before diagnostic (run)\n"
                "  --seed N      machine seed (default 1)\n"
                "  --scale X     bench iteration scale (bench; default 1.0)\n");
   return out == stdout ? 0 : 2;
@@ -102,6 +123,11 @@ struct ParsedFlags {
   bool sampled = false;
   uint64_t sampling_period = 0;
   uint64_t sampling_window = 0;
+  uint64_t audit = 0;
+  std::string fault_seams;
+  uint64_t fault_seed = 0;
+  uint64_t watchdog_stall_epochs = 0;
+  double watchdog_seconds = 0.0;
   std::string drill_type;
   // whatif candidate selection.
   bool auto_search = false;
@@ -125,6 +151,11 @@ RunSpec SpecFromFlags(const ParsedFlags& flags) {
   spec.sampled = flags.sampled;
   spec.sampling_period = flags.sampling_period;
   spec.sampling_window = flags.sampling_window;
+  spec.audit_epochs = flags.audit;
+  spec.fault_seams = flags.fault_seams;
+  spec.fault_seed = flags.fault_seed;
+  spec.watchdog_stall_epochs = flags.watchdog_stall_epochs;
+  spec.watchdog_wall_seconds = flags.watchdog_seconds;
   return spec;
 }
 
@@ -214,11 +245,47 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
       const char* v = next_value("--cores");
       uint64_t cores = 0;
       if (v == nullptr || !ParseUInt("--cores", v, &cores)) return false;
-      if (cores == 0 || cores > 4096) {
-        std::fprintf(stderr, "dprof: --cores must be in [1, 4096]\n");
+      // Range check (against the simulated machine's real core limit, not a
+      // parser-local guess) happens in ValidateRunSpec.
+      if (cores > 4096) {
+        std::fprintf(stderr, "dprof: --cores expects a small integer, got '%s'\n", v);
         return false;
       }
       flags->cores = static_cast<int>(cores);
+    } else if (arg == "--audit") {
+      const char* v = next_value("--audit");
+      if (v == nullptr || !ParseUInt("--audit", v, &flags->audit)) return false;
+      if (flags->audit == 0) {
+        std::fprintf(stderr,
+                     "dprof: --audit expects the positive epoch period between "
+                     "invariant audits\n");
+        return false;
+      }
+    } else if (arg == "--fault") {
+      const char* v = next_value("--fault");
+      if (v == nullptr) return false;
+      flags->fault_seams = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next_value("--fault-seed");
+      if (v == nullptr || !ParseUInt("--fault-seed", v, &flags->fault_seed)) return false;
+    } else if (arg == "--watchdog-stall-epochs") {
+      const char* v = next_value("--watchdog-stall-epochs");
+      if (v == nullptr ||
+          !ParseUInt("--watchdog-stall-epochs", v, &flags->watchdog_stall_epochs))
+        return false;
+      if (flags->watchdog_stall_epochs == 0) {
+        std::fprintf(stderr, "dprof: --watchdog-stall-epochs must be positive\n");
+        return false;
+      }
+    } else if (arg == "--watchdog-seconds") {
+      const char* v = next_value("--watchdog-seconds");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      flags->watchdog_seconds = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(flags->watchdog_seconds > 0.0)) {
+        std::fprintf(stderr, "dprof: --watchdog-seconds must be a positive number\n");
+        return false;
+      }
     } else if (arg == "--cycles") {
       const char* v = next_value("--cycles");
       if (v == nullptr || !ParseUInt("--cycles", v, &flags->cycles)) return false;
@@ -331,12 +398,18 @@ int CmdRun(const std::vector<std::string>& args) {
   if (!ParseFlags(args, flag_start,
                   "--json --cores --cycles --threads --type --seed --legacy-loop "
                   "--no-record-elision --local-tx-queue --admission-control "
-                  "--sampled --sampling-period --sampling-window --scenario",
+                  "--sampled --sampling-period --sampling-window --audit --fault "
+                  "--fault-seed --watchdog-stall-epochs --watchdog-seconds --scenario",
                   &flags))
     return 2;
 
   RunSpec spec = SpecFromFlags(flags);
   spec.drill_type = flags.drill_type;
+  const std::string spec_error = ValidateRunSpec(spec);
+  if (!spec_error.empty()) {
+    std::fprintf(stderr, "dprof: %s\n", spec_error.c_str());
+    return 2;
+  }
   const ScenarioReport report = RunScenario(ScenarioRegistry::Default(), name, spec);
   if (!report.drill_type.empty() && !report.drill_type_found) {
     std::fprintf(stderr, "dprof: scenario '%s' has no type named '%s'\n", name.c_str(),
@@ -345,8 +418,10 @@ int CmdRun(const std::vector<std::string>& args) {
   }
 
   if (flags.json) {
+    // On a diagnostic ending, the document still prints — it carries the
+    // structured "error" block — but the exit code says the run failed.
     std::printf("%s\n", ScenarioReportToJson(report).c_str());
-    return 0;
+    return report.status.ok() ? 0 : 1;
   }
   std::printf("scenario: %s (%d cores, %llu cycles)\n", report.scenario.c_str(),
               report.cores, static_cast<unsigned long long>(report.collect_cycles));
@@ -363,6 +438,17 @@ int CmdRun(const std::vector<std::string>& args) {
       std::printf("== path traces: %s ==\n%s", report.drill_type.c_str(),
                   report.path_trace_text.c_str());
     }
+  }
+  if (report.degraded) {
+    std::printf("note: sampled run degraded (%llu honesty violations%s%s)\n",
+                static_cast<unsigned long long>(report.sampling_violations),
+                report.sampling_window_widened ? ", window widened" : "",
+                report.sampling_exact_fallback ? ", exact fallback" : "");
+  }
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "dprof: run ended in diagnostic: %s\n",
+                 report.status.ToString().c_str());
+    return 1;
   }
   return 0;
 }
@@ -386,6 +472,11 @@ int CmdWhatIf(const std::vector<std::string>& args) {
 
   ScenarioRegistry& registry = ScenarioRegistry::Default();
   const RunSpec spec = SpecFromFlags(flags);
+  const std::string spec_error = ValidateRunSpec(spec);
+  if (!spec_error.empty()) {
+    std::fprintf(stderr, "dprof: %s\n", spec_error.c_str());
+    return 2;
+  }
   std::vector<WhatIfCandidate> candidates = flags.candidates;
   if (flags.auto_search) {
     // Seed the search with the baseline's top profiled types: a cheap
@@ -461,6 +552,7 @@ int Main(int argc, char** argv) {
   if (command == "run") return CmdRun(args);
   if (command == "whatif") return CmdWhatIf(args);
   if (command == "bench") return CmdBench(args);
+  if (command == "crashtest") return CmdCrashtest(args);
   if (command == "help" || command == "--help" || command == "-h") return Usage(stdout);
   std::fprintf(stderr, "dprof: unknown command '%s'\n", command.c_str());
   return Usage(stderr);

@@ -22,13 +22,57 @@ void ApplySpec(ScenarioRig& rig, const RunSpec& spec) {
 
 }  // namespace
 
+std::string ValidateRunSpec(const RunSpec& spec) {
+  if (spec.cores < 1 || spec.cores > Engine::kMaxCores) {
+    return "--cores must be in [1, " + std::to_string(Engine::kMaxCores) +
+           "] (the simulated machine's core limit); got " + std::to_string(spec.cores);
+  }
+  if (spec.threads < 0 || spec.threads > 1024) {
+    return "--threads must be in [0, 1024] (0 = hardware concurrency); got " +
+           std::to_string(spec.threads);
+  }
+  if (!spec.sampled && (spec.sampling_period > 0 || spec.sampling_window > 0)) {
+    return "--period/--window only apply to sampled runs; add --sampled";
+  }
+  if (spec.sampled && spec.sampling_period > 0 && spec.sampling_window > spec.sampling_period) {
+    return "--window (" + std::to_string(spec.sampling_window) +
+           ") must not exceed --period (" + std::to_string(spec.sampling_period) + ")";
+  }
+  if (!spec.fault_seams.empty()) {
+    uint32_t mask = 0;
+    std::string error;
+    if (!ParseFaultSeamList(spec.fault_seams, &mask, &error)) {
+      return error;
+    }
+  }
+  if (spec.watchdog_wall_seconds < 0.0) {
+    return "--watchdog-seconds must be >= 0 (0 keeps the 300s default)";
+  }
+  return "";
+}
+
 std::unique_ptr<ScenarioRig> MakeBaseRig(const RunSpec& spec) {
   auto rig = std::make_unique<ScenarioRig>();
   rig->registry = std::make_unique<TypeRegistry>();
   MachineConfig config;
   config.hierarchy.num_cores = spec.cores;
   config.seed = spec.seed;
+  if (!spec.fault_seams.empty()) {
+    FaultPlanConfig fault_config;
+    std::string error;
+    // Callers run ValidateRunSpec first; an unparseable list here is a
+    // programming error, not user input.
+    DPROF_CHECK(ParseFaultSeamList(spec.fault_seams, &fault_config.enabled_mask, &error));
+    if (spec.fault_seed != 0) {
+      fault_config.seed = spec.fault_seed;
+    }
+    rig->faults = std::make_unique<FaultPlan>(fault_config);
+    // Configuration-level seams (ext-bank pressure) must land before the
+    // machine builds its hierarchy.
+    rig->faults->ApplyToHierarchy(&config.hierarchy);
+  }
   rig->machine = std::make_unique<Machine>(config);
+  rig->machine->SetFaultPlan(rig->faults.get());
   SlabConfig slab_config;
   slab_config.transforms = spec.transforms;
   rig->allocator =
@@ -187,18 +231,29 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     if (spec.sampling_window > 0) {
       engine_config.sampling.window_cycles = spec.sampling_window;
     }
+    engine_config.audit_epochs = spec.audit_epochs;
+    if (spec.watchdog_stall_epochs > 0) {
+      engine_config.watchdog_stall_epochs = spec.watchdog_stall_epochs;
+    }
+    if (spec.watchdog_wall_seconds > 0.0) {
+      engine_config.watchdog_wall_seconds = spec.watchdog_wall_seconds;
+    }
     engine = std::make_unique<Engine>(rig->machine.get(), engine_config);
     rig->machine->SetExecutor(engine.get());
   }
 
   DProfSession session(rig->machine.get(), rig->allocator.get(), rig->options);
   session.CollectAccessSamples(rig->collect_cycles);
-  if (spec.collect_histories) {
+  // Once the engine raised an error status it refuses to run further epochs,
+  // so the history phases (which poll until simulated time advances) would
+  // spin. Skip them and carry the diagnostic into the report instead.
+  const bool run_healthy = engine == nullptr || engine->status().ok();
+  if (spec.collect_histories && run_healthy) {
     session.CollectHistoriesForTopTypes(rig->top_types, rig->history_sets);
   }
 
   ScenarioReport drill_report_part;
-  if (!spec.drill_type.empty()) {
+  if (!spec.drill_type.empty() && run_healthy) {
     drill_report_part.drill_type = spec.drill_type;
     {
       drill_report_part.drill_type_found = true;
@@ -230,6 +285,33 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     report.engine_commit_seconds = stats.commit_seconds;
     report.engine_deliver_seconds = stats.deliver_seconds;
     report.engine_epochs = stats.epochs;
+    report.status = engine->status();
+    report.audits_run = engine->audits_run();
+  }
+  if (rig->faults != nullptr) {
+    report.faults_enabled = true;
+    report.fault_seed = rig->faults->config().seed;
+    for (int i = 0; i < kNumFaultSeams; ++i) {
+      const FaultSeam seam = static_cast<FaultSeam>(i);
+      if (!rig->faults->enabled(seam)) {
+        continue;
+      }
+      ScenarioReport::SeamCount count;
+      count.seam = FaultSeamName(seam);
+      count.injected = rig->faults->injected(seam);
+      count.recovered = rig->faults->recovered(seam);
+      report.fault_seams.push_back(std::move(count));
+    }
+    for (int q = 0; q < rig->env->num_tx_queues(); ++q) {
+      report.mailbox_dropped += rig->env->tx_queue(q).dropped();
+    }
+  }
+  if (engine != nullptr && engine->sampler() != nullptr) {
+    const SamplingController& sc = *engine->sampler();
+    report.sampling_violations = sc.violations();
+    report.sampling_window_widened = sc.widened();
+    report.sampling_exact_fallback = sc.exact_fallback();
+    report.degraded = sc.violations() > 0;
   }
   report.drill_type = drill_report_part.drill_type;
   report.drill_type_found = drill_report_part.drill_type_found;
@@ -362,6 +444,39 @@ std::string ScenarioReportToJson(const ScenarioReport& report) {
       json.EndObject();
     }
     json.EndArray();
+    json.EndObject();
+  }
+  // Robustness blocks: emitted only when present, so healthy exact-mode
+  // documents (with or without --audit) stay byte-for-byte the golden
+  // fingerprints CI pins.
+  if (report.faults_enabled) {
+    json.Key("faults").BeginObject();
+    json.Key("seed").UInt(report.fault_seed);
+    json.Key("seams").BeginArray();
+    for (const ScenarioReport::SeamCount& seam : report.fault_seams) {
+      json.BeginObject();
+      json.Key("seam").String(seam.seam);
+      json.Key("injected").UInt(seam.injected);
+      json.Key("recovered").UInt(seam.recovered);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("mailbox_dropped").UInt(report.mailbox_dropped);
+    json.Key("audits_run").UInt(report.audits_run);
+    json.EndObject();
+  }
+  if (report.degraded) {
+    json.Key("degraded").BeginObject();
+    json.Key("sampling_violations").UInt(report.sampling_violations);
+    json.Key("sampling_window_widened").Bool(report.sampling_window_widened);
+    json.Key("sampling_exact_fallback").Bool(report.sampling_exact_fallback);
+    json.EndObject();
+  }
+  if (!report.status.ok()) {
+    json.Key("error").BeginObject();
+    json.Key("code").String(StatusCodeName(report.status.code()));
+    json.Key("seam").String(report.status.seam());
+    json.Key("message").String(report.status.message());
     json.EndObject();
   }
   json.Key("profile").BeginArray();

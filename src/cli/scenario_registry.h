@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "src/dprof/session.h"
+#include "src/machine/faults.h"
 #include "src/machine/sampling.h"
+#include "src/util/status.h"
 #include "src/workload/kernel.h"
 
 namespace dprof {
@@ -26,6 +28,9 @@ namespace dprof {
 // pieces that point into it.
 struct ScenarioRig {
   std::unique_ptr<TypeRegistry> registry;
+  // Deterministic fault-injection plan (null on healthy runs). Declared
+  // above the machine, which holds a raw pointer into it.
+  std::unique_ptr<FaultPlan> faults;
   std::unique_ptr<Machine> machine;
   std::unique_ptr<SlabAllocator> allocator;
   std::unique_ptr<KernelEnv> env;
@@ -94,6 +99,24 @@ struct RunSpec {
   bool sampled = false;
   uint64_t sampling_period = 0;
   uint64_t sampling_window = 0;
+  // Periodic lattice invariant auditing (`dprof run --audit=N`): every N
+  // engine epochs the commit thread re-derives the tag lattice's global
+  // invariants (inclusion, private-exclusive consistency, directory
+  // extension-bank obligations, committed-clock monotonicity) and turns any
+  // violation into a structured kDataLoss status. 0 = off. Audit-enabled
+  // healthy runs produce byte-identical reports to audit-off runs.
+  uint64_t audit_epochs = 0;
+  // Deterministic fault injection: comma-separated seam list ("all", or e.g.
+  // "slab_grow,lane_drop" — see ParseFaultSeamList). Empty = healthy run.
+  // Every fault decision is a pure function of (seed, simulated state), so
+  // faulted runs stay byte-identical across --threads.
+  std::string fault_seams;
+  // Seed salting every fault decision; 0 keeps the FaultPlanConfig default.
+  uint64_t fault_seed = 0;
+  // Watchdog overrides; 0 keeps the EngineConfig defaults (256 stalled
+  // epochs / 300 wall-clock seconds).
+  uint64_t watchdog_stall_epochs = 0;
+  double watchdog_wall_seconds = 0.0;
 };
 
 using ScenarioFactory = std::function<std::unique_ptr<ScenarioRig>(const RunSpec&)>;
@@ -126,6 +149,13 @@ class ScenarioRegistry {
 // Registers the built-in scenarios into `registry` (used by Default() and by
 // tests that want a fresh registry).
 void RegisterBuiltinScenarios(ScenarioRegistry& registry);
+
+// Validates every field of `spec` against the limits the simulator actually
+// enforces (core count vs Engine::kMaxCores, thread bounds, sampling-flag
+// consistency, fault seam names, watchdog ranges). Returns an empty string
+// when valid, else a one-line actionable error message. The CLI prints the
+// message and exits nonzero instead of CHECK-aborting deep in the rig.
+std::string ValidateRunSpec(const RunSpec& spec);
 
 // Shared rig assembly for scenario factories: machine + typed allocator
 // (with the spec's transforms installed) + kernel environment sized from
@@ -203,6 +233,35 @@ struct ScenarioReport {
 
   // Sampled-mode estimates (RunSpec::sampled runs only).
   SamplingReport sampling;
+
+  // Fault-injection accounting (RunSpec::fault_seams runs only): per-seam
+  // injected/recovered counters from the FaultPlan. Deterministic for any
+  // --threads value, so crashtest can diff the JSON across thread counts.
+  struct SeamCount {
+    std::string seam;
+    uint64_t injected = 0;
+    uint64_t recovered = 0;
+  };
+  bool faults_enabled = false;
+  uint64_t fault_seed = 0;
+  std::vector<SeamCount> fault_seams;
+  uint64_t mailbox_dropped = 0;
+
+  // Graceful-degradation record: set when the run finished but had to give
+  // something up (sampling honesty-contract violations that widened the
+  // window or forced the exact fallback). Emitted as a "degraded" JSON block
+  // only when degraded is true.
+  bool degraded = false;
+  uint64_t sampling_violations = 0;
+  bool sampling_window_widened = false;
+  bool sampling_exact_fallback = false;
+
+  // Terminal engine status. !status.ok() means the run ended in a structured
+  // diagnostic (watchdog, audit violation, allocator exhaustion) instead of
+  // completing; the CLI renders it as an "error" JSON block and exits
+  // nonzero. Healthy runs carry Status::Ok() and emit nothing.
+  Status status;
+  uint64_t audits_run = 0;
 
   // Host-side engine phase timing for the run (zeroed on the legacy loop).
   // Deliberately excluded from ScenarioReportToJson: wall-clock varies with

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "src/machine/faults.h"
+#include "src/sim/audit.h"
 #include "src/util/check.h"
 
 namespace dprof {
@@ -41,6 +44,11 @@ uint64_t PackKey(uint64_t timestamp, int core) {
 // lead-in (kPrefetchDepth) many times over, small enough to live on the
 // stack next to its scatter indices.
 constexpr uint32_t kApplyWindow = 64;
+
+// Scatter sentinel of an injected duplicate apply: the replayed record's
+// result is discarded, so the sentinel never collides with ring tags or
+// lane indices.
+constexpr uint32_t kDupScatter = ~0u;
 
 // Balanced-tree reduction: log-depth dependency chain, so the four-wide min
 // stages overlap instead of serializing like a linear fold.
@@ -211,10 +219,42 @@ void Engine::RunFor(uint64_t cycles) {
   if (m.allocator_ != nullptr) {
     m.allocator_->PrepareParallel(m.num_cores());
   }
+  if (sampler_ != nullptr) {
+    sampler_->SetFaultPlan(m.fault_plan());
+  }
   const uint64_t deadline = m.MinClock() + cycles;
-  while (true) {
+  const auto wall_start = Clock::now();
+  uint64_t last_min = ~0ull;
+  uint64_t stalled_epochs = 0;
+  while (status_.ok()) {
     const uint64_t min_clock = m.MinClock();
     if (min_clock >= deadline) {
+      break;
+    }
+    // Watchdog: healthy epochs always advance the committed min clock, so
+    // repeated zero-progress epochs mean the run is wedged. The wall-clock
+    // bound catches everything else (a livelocked phase still returns here
+    // between epochs). Both convert a would-be hang into a diagnostic.
+    if (min_clock == last_min) {
+      if (config_.watchdog_stall_epochs > 0 &&
+          ++stalled_epochs >= config_.watchdog_stall_epochs) {
+        status_ = Status(StatusCode::kDeadlineExceeded, "watchdog",
+                         "committed clock stuck at " + std::to_string(min_clock) +
+                             " for " + std::to_string(stalled_epochs) +
+                             " consecutive epochs");
+        break;
+      }
+    } else {
+      last_min = min_clock;
+      stalled_epochs = 0;
+    }
+    if (config_.watchdog_wall_seconds > 0 &&
+        Seconds(wall_start, Clock::now()) > config_.watchdog_wall_seconds) {
+      status_ = Status(StatusCode::kDeadlineExceeded, "watchdog",
+                       "epoch loop exceeded " +
+                           std::to_string(config_.watchdog_wall_seconds) +
+                           "s of wall time at committed clock " +
+                           std::to_string(min_clock));
       break;
     }
     // Adaptive epoch length: tight while a mailbox-fed type is under study
@@ -223,10 +263,65 @@ void Engine::RunFor(uint64_t cycles) {
     const uint64_t epoch =
         m.epoch_focus() ? config_.epoch_cycles_focus : config_.epoch_cycles;
     RunEpoch(min_clock, deadline, epoch);
+    if (config_.audit_epochs > 0 && epochs_run_ % config_.audit_epochs == 0) {
+      RunAudit();
+    }
+    if (m.allocator_ != nullptr) {
+      status_.Update(m.allocator_->status());
+    }
   }
   // Settle in-flight observer delivery before the caller can read observer
   // state: RunFor's boundary is the only synchronization point callers see.
   WaitDeliveryIdle();
+}
+
+void Engine::RunAudit() {
+  Machine& m = *machine_;
+  FaultPlan* const plan = m.fault_plan();
+  if (plan != nullptr) {
+    // Detection-coverage harness: plant one planned corruption right before
+    // the walk. The planned kind may have no live target in a sparse lattice
+    // (nothing exclusive yet, empty extension bank), so rotate through the
+    // kinds until one lands.
+    const int kind = plan->CorruptionAtAudit(audits_run_);
+    if (kind >= 0) {
+      for (int k = 0; k < CacheHierarchy::kNumLatticeFaultKinds; ++k) {
+        if (m.hierarchy_.InjectLatticeFault(
+                (kind + k) % CacheHierarchy::kNumLatticeFaultKinds)) {
+          break;
+        }
+      }
+    }
+  }
+  // Committed-clock monotonicity: the one engine-owned invariant, checked
+  // against the previous audit's snapshot at the same cadence.
+  const int cores = m.num_cores();
+  if (audit_prev_clocks_.empty()) {
+    audit_prev_clocks_.assign(m.clocks_.begin(), m.clocks_.end());
+  } else {
+    for (int c = 0; c < cores; ++c) {
+      if (m.clocks_[c] < audit_prev_clocks_[c]) {
+        status_.Update(Status(
+            StatusCode::kDataLoss, "audit",
+            "committed clock of core " + std::to_string(c) + " moved backwards (" +
+                std::to_string(audit_prev_clocks_[c]) + " -> " +
+                std::to_string(m.clocks_[c]) + ")"));
+      }
+      audit_prev_clocks_[c] = m.clocks_[c];
+    }
+  }
+  const InvariantAuditor auditor(&m.hierarchy_);
+  const AuditResult result = auditor.Audit();
+  ++audits_run_;
+  if (!result.ok()) {
+    std::string message = "lattice audit #" + std::to_string(audits_run_ - 1) +
+                          " found " + std::to_string(result.total_violations) +
+                          " violation(s)";
+    if (!result.violations.empty()) {
+      message += ": " + result.violations.front();
+    }
+    status_.Update(Status(StatusCode::kDataLoss, "audit", message));
+  }
 }
 
 void Engine::RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycles) {
@@ -250,6 +345,13 @@ void Engine::RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycl
         std::max(epoch_cycles, std::min(sampler_->FfRunway(min_clock),
                                         sampler_->config().ff_epoch_cycles));
     epoch_end = std::min(deadline, min_clock + stretch);
+  }
+  FaultPlan* const faults = m.fault_plan();
+  if (faults != nullptr && faults->StallsEpoch(epochs_run_)) {
+    // Injected scheduler wedge: the epoch ends where it starts, so no core
+    // simulates and the committed min clock cannot advance. The watchdog in
+    // RunFor is what turns the resulting no-progress streak into a status.
+    epoch_end = min_clock;
   }
   const ElideMode elide_mode =
       ff_epoch_ ? ElideMode::kOff : ElisionMode();
@@ -307,6 +409,17 @@ void Engine::RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycl
       if (budget > 0) {
         rec.elide = true;
         rec.elide_budget = budget;
+      }
+    }
+    // Injected per-core clock skew: an idle burst recorded at epoch start,
+    // keyed on (core, epoch ordinal) only, so skewed runs commit the same
+    // stream at every thread count. Recovery is inherent — the commit pass
+    // reconstructs exact clocks from the recorded ops like any idle time.
+    if (faults != nullptr && epoch_end > min_clock) {
+      const uint32_t skew = faults->ClockSkew(c, epochs_run_);
+      if (skew != 0) {
+        rec.PushCycles(SimOp::kIdle, rec.lb, skew, kInvalidFunction);
+        rec.ChargeExact(skew);
       }
     }
   }
@@ -410,6 +523,18 @@ void Engine::ApplyShard(uint32_t shard) {
   Machine& m = *machine_;
   const int cores = m.num_cores();
   const int qbits = config_.apply_quantum_bits;
+  // Lane faults (dropped / duplicated records) are keyed on the recorded
+  // (core, timestamp, address) alone, and a drop recovers to the optimistic
+  // lower-bound result, so faulted applies stay bit-identical to the fused
+  // single-thread merge. The window reserves one slot so a duplicate always
+  // lands adjacent to its original (batch boundaries don't change results).
+  FaultPlan* const faults = m.fault_plan();
+  const bool lane_faults =
+      faults != nullptr && (faults->enabled(FaultSeam::kLaneDrop) ||
+                            faults->enabled(FaultSeam::kLaneDup));
+  const uint32_t drop_result =
+      PackAccessResult(m.config_.hierarchy.latency.l1, ServedBy::kL1, false);
+  const uint32_t window_cap = lane_faults ? kApplyWindow - 1 : kApplyWindow;
   uint64_t keys[kMaxCores];
   size_t cursor[kMaxCores] = {0};
   ApplyLane window[kApplyWindow];
@@ -451,21 +576,43 @@ void Engine::ApplyShard(uint32_t shard) {
       do {
         const uint32_t e = list[cursor[core]];
         if ((e & CoreRecorder::kRingTag) != 0) {
+          // Ring-streamed accesses are never faulted: elision requires the
+          // epoch to be consumer-free, so a perturbed ring could not be
+          // observed recovering anyway.
           window[nw] = rec.ring[e & ~CoreRecorder::kRingTag];
+          scatter[nw] = e;
+          ++nw;
         } else {
           const CoreRecorder::Lane& lane = rec.lane[e];
           DPROF_CHECK(lane.t - base <= 0xffff'ffffull);  // silent wrap would corrupt merge order
-          window[nw] =
-              ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
+          const LaneFault fault = lane_faults
+                                      ? faults->LaneFaultFor(core, lane.t, lane.addr)
+                                      : LaneFault::kNone;
+          if (fault == LaneFault::kDrop) {
+            // The record never reaches the hierarchy; recover by committing
+            // the optimistic lower-bound result in its place.
+            rec.lane[e].result = drop_result;
+          } else {
+            window[nw] =
+                ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
+            scatter[nw] = e;
+            ++nw;
+            if (fault == LaneFault::kDup) {
+              window[nw] = window[nw - 1];
+              scatter[nw] = kDupScatter;
+              ++nw;
+            }
+          }
         }
-        scatter[nw] = e;
-        ++nw;
         key = ++cursor[core] < list.size()
                   ? PackKey(entry_t(rec, list[cursor[core]]) >> qbits, core)
                   : kDoneKey;
-      } while (key < limit && nw < kApplyWindow);
+      } while (key < limit && nw < window_cap);
       m.hierarchy_.ApplyBatch(core, base, window, nw);
       for (uint32_t j = 0; j < nw; ++j) {
+        if (scatter[j] == kDupScatter) {
+          continue;
+        }
         if ((scatter[j] & CoreRecorder::kRingTag) != 0) {
           rec.ring[scatter[j] & ~CoreRecorder::kRingTag].size_w = window[j].size_w;
         } else {
@@ -497,6 +644,15 @@ void Engine::ApplyGlobal() {
   Machine& m = *machine_;
   const int cores = m.num_cores();
   const int qbits = config_.apply_quantum_bits;
+  // Same lane-fault keying as ApplyShard: decisions depend only on the
+  // recorded op, so both apply strategies perturb identically.
+  FaultPlan* const faults = m.fault_plan();
+  const bool lane_faults =
+      faults != nullptr && (faults->enabled(FaultSeam::kLaneDrop) ||
+                            faults->enabled(FaultSeam::kLaneDup));
+  const uint32_t drop_result =
+      PackAccessResult(m.config_.hierarchy.latency.l1, ServedBy::kL1, false);
+  const uint32_t window_cap = lane_faults ? kApplyWindow - 1 : kApplyWindow;
   uint64_t keys[kMaxCores];
   size_t ring_cursor[kMaxCores] = {0};
   uint32_t cursor[kMaxCores] = {0};
@@ -562,17 +718,31 @@ void Engine::ApplyGlobal() {
         const uint32_t li = cursor[core];
         const CoreRecorder::Lane& lane = rec.lane[li];
         DPROF_CHECK(lane.t - base <= 0xffff'ffffull);  // silent wrap would corrupt merge order
-        window[nw] =
-            ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
-        scatter[nw] = li;
-        ++nw;
+        const LaneFault fault = lane_faults
+                                    ? faults->LaneFaultFor(core, lane.t, lane.addr)
+                                    : LaneFault::kNone;
+        if (fault == LaneFault::kDrop) {
+          rec.lane[li].result = drop_result;
+        } else {
+          window[nw] =
+              ApplyLane{lane.addr, static_cast<uint32_t>(lane.t - base), lane.size_w};
+          scatter[nw] = li;
+          ++nw;
+          if (fault == LaneFault::kDup) {
+            window[nw] = window[nw - 1];
+            scatter[nw] = kDupScatter;
+            ++nw;
+          }
+        }
         cursor[core] = next_access(rec, li + 1);
         key = cursor[core] < count ? PackKey(rec.lane[cursor[core]].t >> qbits, core)
                                    : kDoneKey;
-      } while (key < limit && nw < kApplyWindow);
+      } while (key < limit && nw < window_cap);
       m.hierarchy_.ApplyBatch(core, base, window, nw);
       for (uint32_t j = 0; j < nw; ++j) {
-        rec.lane[scatter[j]].result = window[j].size_w;
+        if (scatter[j] != kDupScatter) {
+          rec.lane[scatter[j]].result = window[j].size_w;
+        }
       }
     } while (key < limit);
     keys[core] = key;

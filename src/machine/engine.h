@@ -118,6 +118,20 @@ struct EngineConfig {
   // stay byte-identical across --threads values. Epochs with observers
   // attached always run detailed.
   SamplingConfig sampling{};
+  // Invariant auditing: every audit_epochs epochs (0 = never) the commit
+  // thread walks the tag lattice with an InvariantAuditor (src/sim/audit.h)
+  // and checks committed-clock monotonicity. A violation stops the run with
+  // a kDataLoss status; a clean audit changes no observable output.
+  uint64_t audit_epochs = 0;
+  // Graceful-degradation watchdog: a run that makes no committed-clock
+  // progress for watchdog_stall_epochs consecutive epochs, or spends more
+  // than watchdog_wall_seconds of host wall time inside one RunFor call,
+  // stops with a kDeadlineExceeded status instead of hanging. Healthy
+  // epochs always advance the min clock, so the stall bound only trips on
+  // genuine scheduling bugs (or the injected kEpochStall fault). 0 disables
+  // either bound.
+  uint64_t watchdog_stall_epochs = 256;
+  double watchdog_wall_seconds = 300.0;
 };
 
 // Host wall-clock spent in each engine phase, accumulated across epochs.
@@ -157,6 +171,12 @@ class Engine final : public Executor {
   // Non-null when sampled execution is enabled; exposes the measured-window
   // accounting the report layer turns into scaled estimates + intervals.
   const SamplingController* sampler() const { return sampler_.get(); }
+
+  // Sticky health status: Ok until a watchdog, lattice audit, or polled
+  // allocator failure stops the run. Once set, RunFor returns immediately
+  // so callers can surface the diagnostic instead of looping on a dead run.
+  const Status& status() const { return status_; }
+  uint64_t audits_run() const { return audits_run_; }
 
  private:
   // Observer/PMU capability snapshot the commit pass branches on per run
@@ -198,6 +218,10 @@ class Engine final : public Executor {
   // nominal epoch length; fast-forward epochs stretch it (bounded by the
   // sampler's runway and config cap) to amortize per-epoch overhead.
   void RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycles);
+  // Lattice audit + committed-clock monotonicity check, run on the commit
+  // thread between epochs; injects one planned corruption first when a
+  // fault plan arms kLatticeCorrupt (the detection-coverage harness).
+  void RunAudit();
   void SimulateCore(int core, uint64_t epoch_end);
   void ApplyShard(uint32_t shard);
   void ApplyGlobal();
@@ -271,6 +295,12 @@ class Engine final : public Executor {
   std::vector<CoreRecorder> recorders_;
   uint64_t epochs_run_ = 0;
   EnginePhaseStats phase_stats_;
+
+  // Health state: sticky status, audit cadence bookkeeping, and the
+  // previous audit's committed clocks (monotonicity baseline).
+  Status status_;
+  uint64_t audits_run_ = 0;
+  std::vector<uint64_t> audit_prev_clocks_;
 
   // Per-core commit-time lock state (park bookkeeping while a holder's
   // release is pending) and latency-probe accumulators.

@@ -36,6 +36,7 @@
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/status.h"
 #include "src/util/types.h"
 
 namespace dprof {
@@ -43,6 +44,7 @@ namespace dprof {
 class CoreContext;
 class CoreRecorder;
 class Engine;
+class FaultPlan;
 class Machine;
 
 // One memory operation as seen by observers and PMU hooks.
@@ -177,6 +179,12 @@ class AllocatorIface {
     (void)now;
     (void)alien;
   }
+
+  // Sticky health status. Allocators that can exhaust a bounded resource
+  // (slab arenas under injected grow failures) report it here instead of
+  // aborting; the engine polls after each epoch and stops the run with a
+  // structured diagnostic.
+  virtual Status status() const { return Status::Ok(); }
 };
 
 // Per-core workload logic. Step() performs one unit of work (typically one
@@ -623,6 +631,14 @@ class Machine {
   void SetExecutor(Executor* executor) { executor_ = executor; }
   Executor* executor() { return executor_; }
 
+  // Deterministic fault-injection plan (src/machine/faults.h), or null for a
+  // healthy machine. Set before the first epoch; every consumer (engine,
+  // allocator, mailboxes, sampler) keys its fault decisions off committed
+  // clocks and epoch ordinals, never host threading, so a faulted run stays
+  // bit-identical across --threads.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
   uint64_t CoreClock(int core) const { return clocks_[core]; }
   uint64_t MinClock() const;
   uint64_t MaxClock() const;
@@ -660,6 +676,7 @@ class Machine {
   AllocatorIface* allocator_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
   Executor* executor_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
   std::vector<TypeId> mailbox_fed_types_;
   bool epoch_focus_ = false;
   int elision_inhibitors_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/machine/faults.h"
+
 namespace dprof {
 
 namespace {
@@ -46,11 +48,37 @@ uint64_t SamplingController::Jitter(uint64_t k) const {
 }
 
 bool SamplingController::BeginEpoch(uint64_t clock) {
+  if (exact_fallback_) {
+    return true;
+  }
   const uint64_t k = clock / config_.period_cycles;
   if (k != cur_period_) {
+    // Honesty self-check at period rollover: a period that served less than
+    // half its detailed-window budget breaks the assumption behind the
+    // scaled estimates. Degrade: widen the window so the next period can
+    // catch up; repeated violations abandon sampling for exact execution.
+    if (cur_period_ != ~0ull && served_ < config_.window_cycles / 2) {
+      ++violations_;
+      if (faults_ != nullptr) {
+        faults_->NoteRecovered(FaultSeam::kWindowJitter);
+      }
+      if (violations_ >= kMaxViolations) {
+        exact_fallback_ = true;
+        return true;
+      }
+      widened_ = true;
+      config_.window_cycles =
+          std::min(config_.window_cycles * 2, config_.period_cycles);
+    }
     cur_period_ = k;
     served_ = 0;
     offset_ = Jitter(k);
+    if (faults_ != nullptr && faults_->WindowJitterFires(k)) {
+      // Injected schedule jitter: park the window start so late in the
+      // period that the budget provably cannot be served — the self-check
+      // above must catch it at the next rollover.
+      offset_ = config_.period_cycles - config_.window_cycles / 4 - 1;
+    }
   }
   // Serve the detailed window once the clock passes the jittered offset, and
   // keep serving until window_cycles of simulated time have gone by. Because

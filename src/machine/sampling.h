@@ -5,6 +5,8 @@
 
 namespace dprof {
 
+class FaultPlan;
+
 // Configuration for the engine's sampled execution mode. When enabled, the
 // engine alternates short *detailed windows* (full tag-lattice walks + event
 // delivery, exactly the semantics of exact mode) with long *fast-forward*
@@ -82,6 +84,24 @@ class SamplingController {
   // honest about that). Returns percentages.
   static SamplingInterval WilsonCI(uint64_t k, uint64_t n, double floor_pct);
 
+  // Self-check against the honesty contract behind WilsonCI: the scaled
+  // estimates assume every period contributes (close to) a full detailed
+  // window of measurement. A period that rolls over with less than half its
+  // window served is a violation; the controller degrades gracefully —
+  // first widening the window (x2, capped at the period), then, after
+  // kMaxViolations, falling back to exact execution for the rest of the
+  // run. All decisions are functions of the committed clock sequence, so
+  // degraded runs stay byte-identical across --threads.
+  static constexpr uint64_t kMaxViolations = 3;
+  uint64_t violations() const { return violations_; }
+  bool widened() const { return widened_; }
+  bool exact_fallback() const { return exact_fallback_; }
+
+  // Optional fault plan (kWindowJitter seam): perturbs the window offset at
+  // period rollover so the window provably cannot fit, forcing the
+  // self-check above to trip. Used by the crashtest harness.
+  void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
+
   // The floor applied to per-type miss-share intervals, in points. Shares
   // are robust to window placement (systematic misses distribute across
   // types roughly in proportion), so this floor stays tight.
@@ -103,9 +123,13 @@ class SamplingController {
   uint64_t Jitter(uint64_t k) const;
 
   SamplingConfig config_;
+  FaultPlan* faults_ = nullptr;
   uint64_t cur_period_ = ~0ull;  // index of the period being served
   uint64_t served_ = 0;          // detailed cycles served in cur_period_
   uint64_t offset_ = 0;          // window start offset inside cur_period_
+  uint64_t violations_ = 0;      // periods that broke the honesty contract
+  bool widened_ = false;         // the window budget was doubled at least once
+  bool exact_fallback_ = false;  // degraded to always-detailed execution
   uint64_t detailed_epochs_ = 0;
   uint64_t ff_epochs_ = 0;
   uint64_t measured_accesses_ = 0;

@@ -1,0 +1,209 @@
+#include "src/sim/audit.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dprof {
+
+namespace {
+
+struct Reporter {
+  AuditResult* result;
+
+  void operator()(const char* fmt, ...) {
+    ++result->total_violations;
+    if (result->violations.size() >= InvariantAuditor::kMaxMessages) {
+      return;
+    }
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    result->violations.emplace_back(buf);
+  }
+};
+
+}  // namespace
+
+AuditResult InvariantAuditor::Audit() const {
+  // Private names of the audited class, usable here by friendship.
+  using Level = CacheHierarchy::Level;
+  using WayMeta = CacheHierarchy::WayMeta;
+  constexpr uint64_t kNoLine = CacheHierarchy::kNoLine;
+  constexpr uint64_t kTagMask = CacheHierarchy::kTagMask;
+  constexpr uint64_t kDirOnlyBit = CacheHierarchy::kDirOnlyBit;
+  constexpr uint64_t kPrivTagMask = CacheHierarchy::kPrivTagMask;
+  constexpr uint64_t kPrivExclBit = CacheHierarchy::kPrivExclBit;
+
+  const CacheHierarchy& h = *hierarchy_;
+  AuditResult result;
+  Reporter violate{&result};
+  const int num_cores = h.config_.num_cores;
+  const uint32_t core_mask = num_cores >= 32 ? ~0u : ((1u << num_cores) - 1u);
+
+  // The audit trusts nothing derived: lattice lookups rescan every data way
+  // and every extension slot instead of going through FindL3Slot, whose
+  // early exits lean on the per-set tag count the audit is itself verifying.
+  const auto find_slot = [&](uint64_t set, uint64_t line) -> int {
+    const size_t set_base = set * h.l3_ways_;
+    for (uint32_t w = 0; w < h.l3_ways_; ++w) {
+      const uint64_t tag = h.l3_tags_[set_base + w];
+      if (tag != kNoLine && (tag & kTagMask) == line) {
+        return static_cast<int>(w);
+      }
+    }
+    const size_t ext_base = set * h.l3_ext_ways_;
+    for (uint32_t i = 0; i < h.l3_ext_ways_; ++i) {
+      if (h.l3_ext_tags_[ext_base + i] == line) {
+        return static_cast<int>(h.l3_ways_ + i);
+      }
+    }
+    return -1;
+  };
+  const auto meta_of = [&](uint64_t set, int slot) -> const auto& {
+    return static_cast<uint32_t>(slot) < h.l3_ways_
+               ? h.l3_meta_[set * h.l3_ways_ + static_cast<uint32_t>(slot)]
+               : h.l3_ext_meta_[set * h.l3_ext_ways_ +
+                                (static_cast<uint32_t>(slot) - h.l3_ways_)];
+  };
+
+  // --- Private levels: inclusion, sharer membership, exclusive grants.
+  const Level* levels[2] = {&h.l1_, &h.l2_};
+  const char* level_names[2] = {"L1", "L2"};
+  for (int li = 0; li < 2; ++li) {
+    const Level& level = *levels[li];
+    for (int core = 0; core < num_cores; ++core) {
+      for (uint64_t set = 0; set < level.sets; ++set) {
+        const size_t row = (static_cast<uint64_t>(core) * level.sets + set) * level.ways;
+        for (uint32_t w = 0; w < level.ways; ++w) {
+          const uint64_t tag = level.tags[row + w];
+          if (tag == kNoLine) {
+            continue;
+          }
+          ++result.tags_checked;
+          if (tag >= kDirOnlyBit) {
+            violate("%s core %d set %" PRIu64 " way %u: malformed tag %#" PRIx64,
+                    level_names[li], core, set, w, tag);
+            continue;
+          }
+          const uint64_t line = tag & kPrivTagMask;
+          for (uint32_t w2 = w + 1; w2 < level.ways; ++w2) {
+            const uint64_t other = level.tags[row + w2];
+            if (other != kNoLine && (other & kPrivTagMask) == line) {
+              violate("%s core %d set %" PRIu64 ": line %#" PRIx64
+                      " tagged in two ways",
+                      level_names[li], core, set, line);
+            }
+          }
+          const uint64_t l3set = line & h.l3_set_mask_;
+          const int slot = find_slot(l3set, line);
+          if (slot < 0) {
+            violate("inclusion: %s core %d holds line %#" PRIx64
+                    " with no lattice tag",
+                    level_names[li], core, line);
+            continue;
+          }
+          const WayMeta& meta = meta_of(l3set, slot);
+          if (((meta.sharers >> core) & 1u) == 0) {
+            violate("directory: %s core %d holds line %#" PRIx64
+                    " but its sharer bit is clear",
+                    level_names[li], core, line);
+          }
+          if ((tag & kPrivExclBit) != 0) {
+            if (meta.owner != core) {
+              violate("exclusive: %s core %d carries kPrivExclBit on line %#" PRIx64
+                      " but directory owner is %d",
+                      level_names[li], core, line, meta.owner);
+            } else if ((meta.excl_levels & (1u << li)) == 0) {
+              violate("exclusive: %s core %d carries kPrivExclBit on line %#" PRIx64
+                      " outside the excl_levels grant %u",
+                      level_names[li], core, line, meta.excl_levels);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- L3 lattice: tag-count bookkeeping, extension-bank liveness,
+  // per-set uniqueness, directory field sanity.
+  for (uint64_t set = 0; set < h.l3_sets_; ++set) {
+    const size_t set_base = set * h.l3_ways_;
+    const size_t ext_base = set * h.l3_ext_ways_;
+    const uint32_t ext_count = h.l3_ext_count_[set];
+    if (ext_count > h.l3_ext_ways_) {
+      violate("ext bank set %" PRIu64 ": count %u exceeds %u ways", set, ext_count,
+              h.l3_ext_ways_);
+      continue;
+    }
+
+    uint32_t tagged_data = 0;
+    for (uint32_t w = 0; w < h.l3_ways_; ++w) {
+      if (h.l3_tags_[set_base + w] != kNoLine) {
+        ++tagged_data;
+        ++result.tags_checked;
+      }
+    }
+    if (tagged_data != h.l3_tag_count_[set]) {
+      violate("lattice set %" PRIu64 ": tag count records %u but %u ways are tagged",
+              set, h.l3_tag_count_[set], tagged_data);
+    }
+    for (uint32_t i = 0; i < h.l3_ext_ways_; ++i) {
+      const uint64_t tag = h.l3_ext_tags_[ext_base + i];
+      if (i < ext_count) {
+        ++result.tags_checked;
+        if (tag == kNoLine || tag >= kDirOnlyBit) {
+          violate("ext bank set %" PRIu64 " slot %u: malformed live tag %#" PRIx64,
+                  set, i, tag);
+        }
+      } else if (tag != kNoLine) {
+        violate("ext bank set %" PRIu64 " slot %u: dead slot holds tag %#" PRIx64,
+                set, i, tag);
+      }
+    }
+
+    // Per-set uniqueness over data tags (masked of their dir-only bit) and
+    // live extension tags, plus directory field sanity per tagged slot.
+    const uint32_t total_slots = h.l3_ways_ + ext_count;
+    const auto tag_at = [&](uint32_t s) -> uint64_t {
+      return s < h.l3_ways_ ? h.l3_tags_[set_base + s]
+                            : h.l3_ext_tags_[ext_base + (s - h.l3_ways_)];
+    };
+    for (uint32_t a = 0; a < total_slots; ++a) {
+      const uint64_t tag_a = tag_at(a);
+      if (tag_a == kNoLine) {
+        continue;
+      }
+      const uint64_t line_a = tag_a & kTagMask;
+      for (uint32_t b = a + 1; b < total_slots; ++b) {
+        const uint64_t tag_b = tag_at(b);
+        if (tag_b != kNoLine && (tag_b & kTagMask) == line_a) {
+          violate("lattice set %" PRIu64 ": line %#" PRIx64 " tagged twice", set,
+                  line_a);
+        }
+      }
+      const WayMeta& meta = meta_of(set, static_cast<int>(a));
+      if ((meta.sharers & ~core_mask) != 0 ||
+          (meta.invalidated_from & ~core_mask) != 0) {
+        violate("directory set %" PRIu64 " slot %u: masks name nonexistent cores "
+                "(sharers %#x, invalidated %#x)",
+                set, a, meta.sharers, meta.invalidated_from);
+      }
+      if (meta.owner >= 0) {
+        if (meta.owner >= num_cores) {
+          violate("directory set %" PRIu64 " slot %u: owner %d out of range", set, a,
+                  meta.owner);
+        } else if (((meta.sharers >> meta.owner) & 1u) == 0) {
+          violate("directory set %" PRIu64 " slot %u: owner %d outside sharer set %#x",
+                  set, a, meta.owner, meta.sharers);
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dprof

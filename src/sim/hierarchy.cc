@@ -777,4 +777,151 @@ void CacheHierarchy::FlushAll() {
   std::fill(l3_tag_count_.begin(), l3_tag_count_.end(), 0);
 }
 
+bool CacheHierarchy::InjectLatticeFault(int kind) {
+  switch (kind) {
+    case 0: {
+      // Inclusion break: a private cache keeps its copy while the lattice
+      // forgets the tag.
+      for (int c = 0; c < config_.num_cores; ++c) {
+        for (size_t i = 0; i < l1_.tags.size() / config_.num_cores; ++i) {
+          const size_t slot = static_cast<size_t>(c) * l1_.sets * l1_.ways + i;
+          const uint64_t tag = l1_.tags[slot];
+          if (tag == kNoLine) {
+            continue;
+          }
+          const uint64_t line = tag & kPrivTagMask;
+          const uint64_t set = line & l3_set_mask_;
+          const int l3slot = FindL3Slot(set, line);
+          if (l3slot < 0) {
+            continue;
+          }
+          if (static_cast<uint32_t>(l3slot) < l3_ways_) {
+            l3_tags_[set * l3_ways_ + static_cast<uint32_t>(l3slot)] = kNoLine;
+            l3_meta_[set * l3_ways_ + static_cast<uint32_t>(l3slot)] = WayMeta();
+            l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] - 1);
+          } else {
+            RemoveExtAt(set, l3slot);
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    case 1: {
+      // Exclusive-bit inconsistency: forge the bit on a line the directory
+      // does not credit to this core, or orphan a granted bit.
+      for (int c = 0; c < config_.num_cores; ++c) {
+        for (size_t i = 0; i < l1_.tags.size() / config_.num_cores; ++i) {
+          const size_t slot = static_cast<size_t>(c) * l1_.sets * l1_.ways + i;
+          const uint64_t tag = l1_.tags[slot];
+          if (tag == kNoLine) {
+            continue;
+          }
+          const uint64_t line = tag & kPrivTagMask;
+          const int l3slot = FindL3Slot(line & l3_set_mask_, line);
+          if (l3slot < 0) {
+            continue;
+          }
+          WayMeta* meta = MetaAt(line & l3_set_mask_, l3slot);
+          if ((tag & kPrivExclBit) == 0 && meta->owner != c) {
+            l1_.tags[slot] = tag | kPrivExclBit;
+            return true;
+          }
+          if ((tag & kPrivExclBit) != 0 && meta->owner == c) {
+            meta->owner = -1;
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    case 2: {
+      // Tag-count bookkeeping skew. Decrementing (never incrementing) keeps
+      // every tag scan in bounds while the audit's recount still disagrees.
+      for (uint64_t set = 0; set < l3_sets_; ++set) {
+        if (l3_tag_count_[set] > 0) {
+          l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] - 1);
+          return true;
+        }
+      }
+      return false;
+    }
+    case 3: {
+      // Sharer-set underflow: a live private holder loses its directory bit.
+      for (int c = 0; c < config_.num_cores; ++c) {
+        for (size_t i = 0; i < l1_.tags.size() / config_.num_cores; ++i) {
+          const size_t slot = static_cast<size_t>(c) * l1_.sets * l1_.ways + i;
+          const uint64_t tag = l1_.tags[slot];
+          if (tag == kNoLine) {
+            continue;
+          }
+          const uint64_t line = tag & kPrivTagMask;
+          const int l3slot = FindL3Slot(line & l3_set_mask_, line);
+          if (l3slot < 0) {
+            continue;
+          }
+          WayMeta* meta = MetaAt(line & l3_set_mask_, l3slot);
+          if ((meta->sharers >> c) & 1u) {
+            meta->sharers &= ~(1u << c);
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    case 4: {
+      // Duplicate lattice tag: the same line tagged in a data way and the
+      // extension bank at once.
+      for (uint64_t set = 0; set < l3_sets_; ++set) {
+        if (l3_ext_count_[set] >= l3_ext_ways_) {
+          continue;
+        }
+        const size_t set_base = set * l3_ways_;
+        for (uint32_t w = 0; w < l3_ways_; ++w) {
+          const uint64_t tag = l3_tags_[set_base + w];
+          if (tag == kNoLine) {
+            continue;
+          }
+          const size_t at = set * l3_ext_ways_ + l3_ext_count_[set];
+          l3_ext_tags_[at] = tag & kTagMask;
+          l3_ext_stamps_[at] = 0;
+          l3_ext_meta_[at] = WayMeta();
+          l3_ext_count_[set] = static_cast<uint16_t>(l3_ext_count_[set] + 1);
+          return true;
+        }
+      }
+      return false;
+    }
+    case 5: {
+      // Owner outside the sharer set.
+      for (uint64_t set = 0; set < l3_sets_; ++set) {
+        const size_t set_base = set * l3_ways_;
+        for (uint32_t w = 0; w < l3_ways_; ++w) {
+          if (l3_tags_[set_base + w] == kNoLine || l3_meta_[set_base + w].sharers == 0) {
+            continue;
+          }
+          WayMeta& meta = l3_meta_[set_base + w];
+          int outside = -1;
+          for (int c = 0; c < config_.num_cores; ++c) {
+            if (((meta.sharers >> c) & 1u) == 0) {
+              outside = c;
+              break;
+            }
+          }
+          if (outside >= 0) {
+            meta.owner = static_cast<int8_t>(outside);
+          } else {
+            meta.owner = 0;
+            meta.sharers &= ~1u;
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
 }  // namespace dprof

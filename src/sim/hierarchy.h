@@ -219,7 +219,23 @@ class CacheHierarchy {
   // benchmark phases). Counters survive.
   void FlushAll();
 
+  // Deliberately corrupts one lattice invariant, for the fault-injection
+  // harness: every kind below produces a state the InvariantAuditor is
+  // guaranteed to flag (the audit detection contract is pinned by
+  // faults_test). Returns false when the lattice holds no suitable target
+  // (e.g. it is empty); the caller tries another kind.
+  //   0: drop the lattice tag of a line a private cache still holds
+  //      (inclusion violation)
+  //   1: forge or orphan a private exclusive bit (owner mismatch)
+  //   2: skew a set's l3_tag_count_ bookkeeping
+  //   3: clear the directory sharer bit of a live private holder
+  //   4: duplicate a data tag into the extension bank
+  //   5: point a directory owner at a core outside its sharer set
+  static constexpr int kNumLatticeFaultKinds = 6;
+  bool InjectLatticeFault(int kind);
+
  private:
+  friend class InvariantAuditor;
   // Pulls the tag/stamp rows an access to `addr` will walk toward the host
   // caches: the issuing core's L1 and L2 set rows and the line's L3 set row
   // (both halves of the 16-way tag rows; the stamp rows ride along because

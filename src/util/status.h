@@ -1,0 +1,85 @@
+// Lightweight structured-error value threaded through engine, hierarchy,
+// allocator, sampling, and CLI. A Status either is Ok() or carries an error
+// code, the name of the seam that raised it, and a human-readable message.
+// It deliberately has no dependencies so every layer can speak it.
+
+#ifndef DPROF_SRC_UTIL_STATUS_H_
+#define DPROF_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dprof {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // malformed user input (flags, RunSpec fields)
+  kResourceExhausted,  // a bounded resource genuinely ran out (slab arena)
+  kDataLoss,           // an invariant audit found corrupted state
+  kDeadlineExceeded,   // the watchdog converted a hang into an error
+  kInternal,           // anything else that should never happen
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string seam, std::string message)
+      : code_(code), seam_(std::move(seam)), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& seam() const { return seam_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "ok";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!seam_.empty()) {
+      out += " [";
+      out += seam_;
+      out += "]";
+    }
+    out += ": ";
+    out += message_;
+    return out;
+  }
+
+  // Keeps the first error: assigning onto an existing error is a no-op, so
+  // call sites can accumulate without clobbering the root cause.
+  void Update(const Status& other) {
+    if (ok() && !other.ok()) {
+      *this = other;
+    }
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string seam_;
+  std::string message_;
+};
+
+}  // namespace dprof
+
+#endif  // DPROF_SRC_UTIL_STATUS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/machine/faults.h"
+
 namespace dprof {
 
 KernelTypes KernelTypes::Register(TypeRegistry& registry) {
@@ -84,10 +86,18 @@ void TxQueue::Push(CoreContext& ctx, Packet packet) {
     staged_[ctx.core()].push_back(StagedPacket{packet, ctx.now(), ctx.core()});
     return;
   }
+  // Direct mode applies the injected mailbox cap at push time (there is no
+  // staging); the engine path applies it in FlushStaged.
+  FaultPlan* const faults = ctx.machine().fault_plan();
+  if (faults != nullptr && fifo_.size() >= faults->MailboxCap()) {
+    ++dropped_;
+    faults->NoteMailboxDrop();
+    return;
+  }
   fifo_.push_back(packet);
 }
 
-void TxQueue::FlushStaged() {
+void TxQueue::FlushStaged(FaultPlan* faults) {
   merge_scratch_.clear();
   for (std::vector<StagedPacket>& lane : staged_) {
     merge_scratch_.insert(merge_scratch_.end(), lane.begin(), lane.end());
@@ -101,7 +111,13 @@ void TxQueue::FlushStaged() {
                    [](const StagedPacket& a, const StagedPacket& b) {
                      return a.t != b.t ? a.t < b.t : a.core < b.core;
                    });
+  const size_t cap = faults != nullptr ? faults->MailboxCap() : ~size_t{0};
   for (const StagedPacket& staged : merge_scratch_) {
+    if (fifo_.size() >= cap) {
+      ++dropped_;
+      faults->NoteMailboxDrop();
+      continue;
+    }
     fifo_.push_back(staged.packet);
   }
 }
@@ -165,7 +181,7 @@ KernelEnv::~KernelEnv() { machine_->RemoveEpochHook(this); }
 void KernelEnv::OnEpochCommit(uint64_t now) {
   (void)now;
   for (auto& queue : tx_queues_) {
-    queue->FlushStaged();
+    queue->FlushStaged(machine_->fault_plan());
   }
 }
 

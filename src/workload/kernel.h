@@ -88,8 +88,15 @@ class TxQueue {
   void Push(CoreContext& ctx, Packet packet);
   Packet PopLocked();
 
-  // Merges staged pushes into the fifo; engine commit thread only.
-  void FlushStaged();
+  // Merges staged pushes into the fifo; engine commit thread only. An armed
+  // kMailboxOverflow fault plan caps the fifo depth: packets past the cap
+  // are dropped (tail drop, exactly what pfifo_fast does at qlen limit) and
+  // counted — both here and on the plan — never crashed on. The merge order
+  // is deterministic, so the drop set is too.
+  void FlushStaged(FaultPlan* faults);
+
+  // Packets tail-dropped by an injected mailbox cap.
+  uint64_t dropped() const { return dropped_; }
 
  private:
   struct StagedPacket {
@@ -103,6 +110,7 @@ class TxQueue {
   std::deque<Packet> fifo_;
   std::vector<std::vector<StagedPacket>> staged_;  // per sender core
   std::vector<StagedPacket> merge_scratch_;
+  uint64_t dropped_ = 0;
 };
 
 // Shared network device state: the hot 128-byte net_device window whose

@@ -3,7 +3,9 @@
 #include <string>
 
 #include "src/machine/engine.h"
+#include "src/machine/faults.h"
 #include "src/machine/machine.h"
+#include "src/sim/audit.h"
 #include "src/sim/hierarchy.h"
 
 namespace dprof {
@@ -376,6 +378,56 @@ TEST(HierarchyTest, ExtensionOverflowScenarioFiresReclaimUnderEngine) {
     EXPECT_EQ(base.copy_a_private, other.copy_a_private);
     EXPECT_EQ(base.copy_a_tagged, other.copy_a_tagged);
     EXPECT_EQ(base.copy_b_tagged, other.copy_b_tagged);
+  }
+}
+
+// Extension-bank exhaustion reached the fault-plan way: kExtBankPressure
+// shrinks l3_dir_ext_ways at config time, the overflow scenario storms the
+// reclaim path, and the invariant auditor must find the lattice consistent
+// afterwards — for every thread count and record mode.
+TEST(HierarchyTest, FaultPlanExtPressureExhaustionStaysAuditClean) {
+  HierarchyConfig hconfig = SmallConfig(4);
+  FaultPlanConfig fault_config;
+  fault_config.enabled_mask = 1u << static_cast<int>(FaultSeam::kExtBankPressure);
+  FaultPlan plan(fault_config);
+  plan.ApplyToHierarchy(&hconfig);
+  EXPECT_EQ(hconfig.l3_dir_ext_ways, 1u);
+  EXPECT_EQ(plan.injected(FaultSeam::kExtBankPressure), 1u);
+
+  const uint64_t set_span = hconfig.l3.NumSets() * hconfig.l3.line_size;
+  uint64_t base_reclaims = 0;
+  for (const auto& [threads, elide] : {std::pair<int, bool>{1, true},
+                                       std::pair<int, bool>{1, false},
+                                       std::pair<int, bool>{4, true},
+                                       std::pair<int, bool>{4, false}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                 " elide=" + std::to_string(elide));
+    MachineConfig config;
+    config.hierarchy = hconfig;
+    Machine machine(config);
+    ExtOverflowWriter writer(0x10000, set_span);
+    ExtOverflowStreamer streamer(0x10000 + 2 * set_span, set_span, hconfig.l3.ways + 2);
+    machine.SetDriver(0, &writer);
+    machine.SetDriver(1, &streamer);
+    EngineConfig engine_config;
+    engine_config.threads = threads;
+    engine_config.allow_record_elision = elide;
+    Engine engine(&machine, engine_config);
+    machine.SetExecutor(&engine);
+    machine.RunFor(200'000);
+    machine.SetExecutor(nullptr);
+
+    const HierarchyTotals totals = machine.hierarchy().Totals();
+    EXPECT_GT(totals.tag_reclaims, 0u);
+    if (base_reclaims == 0) {
+      base_reclaims = totals.tag_reclaims;
+    } else {
+      EXPECT_EQ(totals.tag_reclaims, base_reclaims);
+    }
+    InvariantAuditor auditor(&machine.hierarchy());
+    const AuditResult audit = auditor.Audit();
+    EXPECT_TRUE(audit.ok()) << (audit.violations.empty() ? "" : audit.violations[0]);
+    EXPECT_GT(audit.tags_checked, 0u);
   }
 }
 
