@@ -250,6 +250,128 @@ def check_table_6_7(text, c):
     c.check("Apache tracks tcp_sock", "tcp_sock" in types)
 
 
+def parse_rate_rows(text):
+    """Rows of table 6.8: bench, type, elems/history, histories/s, elems/s."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(
+            r"\s*(memcached|Apache)\s+(\S+)\s+([\d.]+)\s+(\d+)\s+(\d+)\s*$", line
+        )
+        if m:
+            rows.append(
+                {
+                    "bench": m.group(1),
+                    "type": m.group(2),
+                    "elems_per_history": float(m.group(3)),
+                    "histories_per_s": int(m.group(4)),
+                    "elems_per_s": int(m.group(5)),
+                }
+            )
+    return rows
+
+
+def check_table_6_8(text, c):
+    """History collection rates on the paper topology: every tracked type
+    sustains a nonzero rate, and — the paper's standout row — skbuff_fclone
+    is Apache's fastest collector (4600 histories/s in Table 6.8)."""
+    rows = parse_rate_rows(section(text, "Benchmark", "paper reference"))
+    c.check("rate table parsed", len(rows) == 6, f"({len(rows)} rows)")
+    if not rows:
+        return
+    for r in rows:
+        c.check(f"{r['bench']}/{r['type']} sustains collection",
+                r["histories_per_s"] > 0 and r["elems_per_s"] > 0,
+                f"({r['histories_per_s']}/s)")
+    apache = [r for r in rows if r["bench"] == "Apache"]
+    if apache:
+        fastest = max(apache, key=lambda r: r["histories_per_s"])
+        c.check("skbuff_fclone fastest Apache collector",
+                fastest["type"] == "skbuff_fclone", f"(fastest: {fastest['type']})")
+    types = {r["type"] for r in apache}
+    c.check("Apache tracks tcp_sock", "tcp_sock" in types)
+
+
+def parse_breakdown_rows(text):
+    """Rows of table 6.9: type, interrupt/memory/communication percents."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(r"\s*(\S+)\s+(\d+)%\s+(\d+)%\s+(\d+)%\s*$", line)
+        if m:
+            rows.append(
+                {
+                    "type": m.group(1),
+                    "interrupts_pct": int(m.group(2)),
+                    "memory_pct": int(m.group(3)),
+                    "communication_pct": int(m.group(4)),
+                }
+            )
+    return rows
+
+
+def check_table_6_9(text, c):
+    """Overhead breakdown: the three cost classes partition each row, setup
+    broadcasts (communication) dominate skbuff_fclone as in the paper, and
+    memory reservations never lead (paper worst: 10%)."""
+    rows = parse_breakdown_rows(section(text, "Data Type", "paper reference"))
+    c.check("breakdown table parsed", len(rows) == 4, f"({len(rows)} rows)")
+    if not rows:
+        return
+    by_type = {r["type"]: r for r in rows}
+    for r in rows:
+        total = r["interrupts_pct"] + r["memory_pct"] + r["communication_pct"]
+        c.check(f"{r['type']} percents partition the cost", abs(total - 100) <= 2,
+                f"(sum {total}%)")
+        c.check(f"{r['type']} memory share stays minor", r["memory_pct"] <= 25,
+                f"({r['memory_pct']}%)")
+    if "skbuff_fclone" in by_type:
+        c.near("skbuff_fclone communication share",
+               by_type["skbuff_fclone"]["communication_pct"], 90.0, 15.0)
+
+
+def parse_pairwise_rows(text):
+    """Rows of table 6.10: bench, type, size, histories/sets, time, overhead."""
+    rows = []
+    for line in text.splitlines():
+        m = re.match(
+            r"\s*(memcached|Apache)\s+(\S+)\s+(\d+)\s+(\d+)/(\d+)\s+([\d.]+)\s+([\d.]+)\s*$",
+            line,
+        )
+        if m:
+            rows.append(
+                {
+                    "bench": m.group(1),
+                    "type": m.group(2),
+                    "size": int(m.group(3)),
+                    "histories": int(m.group(4)),
+                    "sets": int(m.group(5)),
+                    "time_s": float(m.group(6)),
+                    "overhead_pct": float(m.group(7)),
+                }
+            )
+    return rows
+
+
+def check_table_6_10(text, c):
+    """Pairwise sampling: object sizes match the paper's, every sweep yields
+    histories, and the paper's conclusion — overhead stays tolerable (its
+    worst row is 18%) — holds."""
+    rows = parse_pairwise_rows(section(text, "Benchmark", "note:"))
+    c.check("pairwise table parsed", len(rows) == 6, f"({len(rows)} rows)")
+    if not rows:
+        return
+    paper_sizes = {"size-1024": 1024, "skbuff": 256, "skbuff_fclone": 512,
+                   "tcp_sock": 1600}
+    for r in rows:
+        c.check(f"{r['bench']}/{r['type']} object size matches paper",
+                r["size"] == paper_sizes.get(r["type"]), f"({r['size']}B)")
+        c.check(f"{r['bench']}/{r['type']} pairwise sweep collected",
+                r["histories"] > 0 and r["sets"] >= 1,
+                f"({r['histories']}/{r['sets']})")
+    worst = max(r["overhead_pct"] for r in rows)
+    c.check("pairwise overhead stays tolerable", worst <= 20.0,
+            f"(worst {worst:.1f}%; paper worst 18%)")
+
+
 SPECS = {
     "table_6_1_memcached_profile": check_table_6_1,
     "table_6_2_lockstat_memcached": check_table_6_2,
@@ -257,6 +379,9 @@ SPECS = {
     "table_6_4_6_5_apache_profile": check_table_6_4_6_5,
     "table_6_6_lockstat_apache": check_table_6_6,
     "table_6_7_history_collection": check_table_6_7,
+    "table_6_8_history_rates": check_table_6_8,
+    "table_6_9_overhead_breakdown": check_table_6_9,
+    "table_6_10_pairwise": check_table_6_10,
 }
 
 

@@ -172,6 +172,11 @@ SlabAllocator::KmemCache& SlabAllocator::CacheFor(TypeId type) {
     }
     cache.line_align = config_.transforms.Has(name, TypeTransformKind::kAlign);
     cache.pin_home = config_.transforms.Has(name, TypeTransformKind::kPinHome);
+    if (cache.pin_home) {
+      const int socket = config_.transforms.ParamFor(name, TypeTransformKind::kPinHome);
+      DPROF_CHECK(socket < machine_->hierarchy().num_sockets());
+      cache.pin_socket = socket;
+    }
     if (config_.transforms.Has(name, TypeTransformKind::kRecolor)) {
       cache.color_lines = kColorCycle;
     }
@@ -233,7 +238,20 @@ uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCac
   const uint32_t align_pad =
       cache.line_align ? (line_size_ - config_.slab_header_size % line_size_) % line_size_ : 0;
   const uint32_t color_max = cache.color_lines > 0 ? (cache.color_lines - 1) * line_size_ : 0;
-  const uint32_t span = config_.slab_header_size + align_pad + color_max + cache.obj_size;
+  // kPinHome on a multi-socket hierarchy additionally pins placement: the
+  // object run is carved inside one home block of the target socket. Home
+  // blocks cycle sockets round-robin by block index, so the matching block
+  // is at most num_sockets blocks past the header — size the slab for that
+  // worst case.
+  const CacheHierarchy& hierarchy = machine_->hierarchy();
+  const bool pin_placement = cache.pin_home && hierarchy.num_sockets() > 1;
+  const uint64_t home_block = hierarchy.home_block_bytes();
+  const uint32_t pin_max =
+      pin_placement
+          ? static_cast<uint32_t>(home_block * static_cast<uint64_t>(hierarchy.num_sockets()))
+          : 0;
+  const uint32_t span =
+      config_.slab_header_size + align_pad + color_max + pin_max + cache.obj_size;
   const uint32_t num_pages = (span + config_.page_size - 1) / config_.page_size;
   const uint32_t bytes = num_pages * config_.page_size;
 
@@ -241,10 +259,24 @@ uint32_t SlabAllocator::GrowCache(CoreContext& ctx, KmemCache& cache, PerCoreCac
   const uint32_t slab_id = static_cast<uint32_t>(arena.slabs.size());
   const uint32_t color_off =
       cache.color_lines > 0 ? (slab_id % cache.color_lines) * line_size_ : 0;
-  const uint32_t lead = config_.slab_header_size + align_pad + color_off;
-  const uint32_t num_objects = std::max(1u, (bytes - lead) / cache.obj_size);
   const Addr page_base =
       BumpPages(arena, num_pages, PageInfo{PageInfo::Kind::kSlab, slab_id});
+  uint32_t lead = config_.slab_header_size + align_pad + color_off;
+  uint32_t num_objects = std::max(1u, (bytes - lead) / cache.obj_size);
+  if (pin_placement) {
+    const int target =
+        cache.pin_socket >= 0 ? cache.pin_socket : hierarchy.SocketOfCore(ctx.core());
+    Addr objs = (page_base + lead + home_block - 1) / home_block * home_block;
+    while (hierarchy.HomeSocketOf(objs) != target) {
+      objs += home_block;
+    }
+    lead = static_cast<uint32_t>(objs - page_base);
+    // Every object stays inside the one matching home block (an oversized
+    // single object still gets carved, spilling past it).
+    num_objects = std::max(
+        1u, std::min((bytes - lead) / cache.obj_size,
+                     static_cast<uint32_t>(home_block / cache.obj_size)));
+  }
 
   arena.slabs.emplace_back();
   Slab& slab = arena.slabs.back();

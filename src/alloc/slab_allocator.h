@@ -213,6 +213,12 @@ class SlabAllocator : public AllocatorIface {
     // Transform interpretation, resolved once at cache creation:
     bool line_align = false;   // kAlign: line-align each slab's object run
     bool pin_home = false;     // kPinHome: remote frees bypass the alien path
+    // kPinHome on a multi-socket hierarchy also pins slab placement: each
+    // slab's object run is carved inside one home block (hierarchy
+    // home_block_bytes()) of this socket, or of the allocating core's own
+    // socket when -1, so the pinned type's lines are homed where they are
+    // used instead of striped by address hash.
+    int pin_socket = -1;
     uint32_t color_lines = 0;  // kRecolor: color cycle length, 0 = off
   };
 

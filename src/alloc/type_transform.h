@@ -57,12 +57,23 @@ const char* TypeTransformKindName(TypeTransformKind kind);
 // unknown names.
 bool ParseTypeTransformKind(std::string_view name, TypeTransformKind* out);
 
+// Parses a transform spec with an optional "@N" parameter suffix
+// ("pin_home@2" = pin to home socket 2). Plain spellings set *param to -1.
+bool ParseTypeTransformSpec(std::string_view spec, TypeTransformKind* out, int* param);
+
+// "kind" or "kind@param" — the inverse of ParseTypeTransformSpec.
+std::string TypeTransformSpecName(TypeTransformKind kind, int param);
+
 // The candidate catalog `whatif --auto` searches (every kind but identity).
 const std::vector<TypeTransformKind>& AllTypeTransformKinds();
 
 struct TypeTransform {
   std::string type;  // registered type name, e.g. "size-1024"
   TypeTransformKind kind = TypeTransformKind::kIdentity;
+  // Kind-specific parameter; -1 = unparameterized. For kPinHome on a
+  // multi-socket topology this names the home socket the type's slabs are
+  // placed on (-1 = each slab stays on its allocating core's socket).
+  int param = -1;
 };
 
 // An ordered set of transforms, carried by value through SlabConfig and
@@ -70,9 +81,12 @@ struct TypeTransform {
 // duplicates are ignored.
 class TransformSet {
  public:
-  void Add(const std::string& type, TypeTransformKind kind);
+  void Add(const std::string& type, TypeTransformKind kind, int param = -1);
 
   bool Has(std::string_view type, TypeTransformKind kind) const;
+  // The parameter of the (type, kind) entry, or -1 when absent or
+  // unparameterized.
+  int ParamFor(std::string_view type, TypeTransformKind kind) const;
   bool AnyFor(std::string_view type) const;
   bool empty() const { return entries_.empty(); }
   const std::vector<TypeTransform>& entries() const { return entries_; }

@@ -418,9 +418,13 @@ BenchReport RunParallelEngine(const BenchParams& params) {
   // JSON rendering is skipped on both). The legacy baseline is the same
   // session pipeline on the step-the-minimum-clock-core loop.
   ScenarioReport last_report;
-  auto run_once = [&](int threads, bool use_engine, bool sampled = false) {
+  auto run_once = [&](int threads, bool use_engine, bool sampled = false,
+                      const std::string& topology = std::string(),
+                      bool socket_aware = true) {
     RunSpec sp;
     sp.cores = 16;
+    sp.topology = topology;
+    sp.socket_aware_apply = socket_aware;
     sp.seed = params.seed;
     sp.collect_cycles = cycles;
     sp.threads = threads;
@@ -497,6 +501,31 @@ BenchReport RunParallelEngine(const BenchParams& params) {
   if (engine_t4_s > 0) {
     report.metrics.push_back(
         {"speedup_threads4_vs_threads1", engine_t1_s / engine_t4_s, "x"});
+  }
+
+  // Big-preset rows (4 sockets x 16 cores): socket-aware apply sharding vs
+  // the flat per-shard claim at four threads — the NUMA sharding headline.
+  // The two arms differ only in EngineConfig::socket_aware_apply and commit
+  // identical streams, so the ratio isolates shard-claim and locality cost;
+  // both arms oversubscribe a small host identically, which keeps the
+  // comparison meaningful even below four hardware threads.
+  {
+    const double socket_s = run_once(4, true, false, "big", true);
+    const double flat_s = run_once(4, true, false, "big", false);
+    report.metrics.push_back({"big_threads4_socket_seconds", socket_s, "s"});
+    report.metrics.push_back({"big_threads4_flat_seconds", flat_s, "s"});
+    report.metrics.push_back(
+        {"big_socket_vs_flat_speedup", socket_s > 0 ? flat_s / socket_s : 0.0, "x"});
+  }
+  // Deeper fixed-thread scaling on the big preset, same skip convention as
+  // the threads2/threads4 rows above. engine_threads8_seconds is CI-gated.
+  for (const int threads : {8, 16}) {
+    const std::string prefix = "engine_threads" + std::to_string(threads);
+    if (hw < threads) {
+      report.metrics.push_back({prefix + "_skipped_hw_too_small", 1.0, ""});
+      continue;
+    }
+    push_engine_run(prefix, run_once(threads, true, false, "big"), last_report);
   }
 
   // Unprofiled stretch: the record-elision operating point. No session is

@@ -15,6 +15,14 @@
 // Flags:
 //   --json             machine-readable output (run, whatif, bench)
 //   --cores N          simulated cores (run, whatif; default 16)
+//   --topology NAME    machine topology preset (run, whatif): paper-amd
+//                      (4 sockets x 4 cores, 4MB L3 slice each) or big
+//                      (4 sockets x 16 cores, 16MB slices); overrides --cores
+//   --flat-sharding    disable socket-aware apply sharding; workers claim
+//                      individual shards instead of whole sockets (run,
+//                      whatif; output is byte-identical either way)
+//   --no-work-stealing disable epoch-boundary shard stealing between socket
+//                      workers (run, whatif; output is byte-identical)
 //   --cycles N         phase-1 collection length in simulated cycles
 //   --threads N        host worker threads (run: epoch engine workers;
 //                      whatif: parallel candidate experiments; default 0 =
@@ -87,6 +95,9 @@ int Usage(FILE* out) {
                "flags:\n"
                "  --json        machine-readable output\n"
                "  --cores N     simulated cores (run, whatif; default 16)\n"
+               "  --topology NAME  preset: paper-amd or big (run, whatif)\n"
+               "  --flat-sharding  per-shard instead of per-socket apply workers\n"
+               "  --no-work-stealing  no shard stealing between socket workers\n"
                "  --cycles N    phase-1 collection cycles (run, whatif)\n"
                "  --type NAME   drill-down type (run) / transform target (whatif)\n"
                "  --fix KIND    candidate transform for the preceding --type (whatif)\n"
@@ -112,6 +123,9 @@ int Usage(FILE* out) {
 struct ParsedFlags {
   bool json = false;
   int cores = 16;
+  std::string topology;
+  bool socket_aware_apply = true;
+  bool work_stealing = true;
   uint64_t cycles = 0;
   uint64_t seed = 1;
   double scale = 1.0;
@@ -140,6 +154,9 @@ struct ParsedFlags {
 RunSpec SpecFromFlags(const ParsedFlags& flags) {
   RunSpec spec;
   spec.cores = flags.cores;
+  spec.topology = flags.topology;
+  spec.socket_aware_apply = flags.socket_aware_apply;
+  spec.work_stealing = flags.work_stealing;
   spec.seed = flags.seed;
   spec.collect_cycles = flags.cycles;
   spec.threads = flags.threads;
@@ -210,6 +227,14 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
     }
     if (arg == "--legacy-loop") {
       flags->legacy_loop = true;
+    } else if (arg == "--topology") {
+      const char* v = next_value("--topology");
+      if (v == nullptr) return false;
+      flags->topology = v;
+    } else if (arg == "--flat-sharding") {
+      flags->socket_aware_apply = false;
+    } else if (arg == "--no-work-stealing") {
+      flags->work_stealing = false;
     } else if (arg == "--no-record-elision") {
       flags->record_elision = false;
     } else if (arg == "--json") {
@@ -322,10 +347,11 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
       const char* v = next_value("--fix");
       if (v == nullptr) return false;
       TypeTransformKind kind;
-      if (!ParseTypeTransformKind(v, &kind)) {
+      int param = -1;
+      if (!ParseTypeTransformSpec(v, &kind, &param)) {
         std::fprintf(stderr,
                      "dprof: unknown fix '%s' (one of: identity, pad_to_line, align, "
-                     "recolor, replicate, pin_home)\n",
+                     "recolor, replicate, pin_home[@socket])\n",
                      v);
         return false;
       }
@@ -333,7 +359,7 @@ bool ParseFlags(const std::vector<std::string>& args, size_t start, std::string_
         std::fprintf(stderr, "dprof: --fix requires a preceding --type\n");
         return false;
       }
-      flags->candidates.push_back(WhatIfCandidate{flags->drill_type, kind});
+      flags->candidates.push_back(WhatIfCandidate{flags->drill_type, kind, param});
     } else if (arg == "--scale") {
       const char* v = next_value("--scale");
       if (v == nullptr) return false;
@@ -396,7 +422,8 @@ int CmdRun(const std::vector<std::string>& args) {
   if (!FindScenarioArg(args, &name, &flag_start)) return 2;
   ParsedFlags flags;
   if (!ParseFlags(args, flag_start,
-                  "--json --cores --cycles --threads --type --seed --legacy-loop "
+                  "--json --cores --topology --flat-sharding --no-work-stealing "
+                  "--cycles --threads --type --seed --legacy-loop "
                   "--no-record-elision --local-tx-queue --admission-control "
                   "--sampled --sampling-period --sampling-window --audit --fault "
                   "--fault-seed --watchdog-stall-epochs --watchdog-seconds --scenario",
@@ -459,7 +486,8 @@ int CmdWhatIf(const std::vector<std::string>& args) {
   if (!FindScenarioArg(args, &name, &flag_start)) return 2;
   ParsedFlags flags;
   if (!ParseFlags(args, flag_start,
-                  "--json --cores --cycles --threads --seed --no-record-elision --scenario "
+                  "--json --cores --topology --flat-sharding --no-work-stealing "
+                  "--cycles --threads --seed --no-record-elision --scenario "
                   "--type --fix --auto --top --local-tx-queue --admission-control "
                   "--sampled --sampling-period --sampling-window",
                   &flags))
@@ -477,6 +505,16 @@ int CmdWhatIf(const std::vector<std::string>& args) {
     std::fprintf(stderr, "dprof: %s\n", spec_error.c_str());
     return 2;
   }
+  HierarchyConfig topo_probe;
+  ApplyTopologyPreset(spec.topology, &topo_probe);
+  for (const WhatIfCandidate& candidate : flags.candidates) {
+    if (candidate.kind == TypeTransformKind::kPinHome &&
+        candidate.param >= topo_probe.num_sockets) {
+      std::fprintf(stderr, "dprof: pin_home@%d names a socket this topology lacks (%d)\n",
+                   candidate.param, topo_probe.num_sockets);
+      return 2;
+    }
+  }
   std::vector<WhatIfCandidate> candidates = flags.candidates;
   if (flags.auto_search) {
     // Seed the search with the baseline's top profiled types: a cheap
@@ -488,7 +526,7 @@ int CmdWhatIf(const std::vector<std::string>& args) {
     probe.collect_histories = false;
     probe.threads = 1;
     const ScenarioReport baseline = RunScenario(registry, name, probe);
-    candidates = AutoCandidates(baseline.profile, flags.top);
+    candidates = AutoCandidates(baseline.profile, flags.top, baseline.num_sockets);
     if (candidates.empty()) {
       std::fprintf(stderr, "dprof: scenario '%s' produced no profiled types\n",
                    name.c_str());

@@ -22,7 +22,35 @@ void ApplySpec(ScenarioRig& rig, const RunSpec& spec) {
 
 }  // namespace
 
+bool ApplyTopologyPreset(const std::string& name, HierarchyConfig* config) {
+  if (name.empty()) {
+    return true;
+  }
+  if (name == "paper-amd") {
+    // The paper's evaluation machine: 4 quad-core AMD sockets, one L3 slice
+    // (and memory controller) per socket.
+    config->num_cores = 16;
+    config->num_sockets = 4;
+    config->l3 = CacheGeometry{4 * 1024 * 1024, 64, 16};
+    return true;
+  }
+  if (name == "big") {
+    // Scaling preset: 4 sockets x 16 cores, full-size slices.
+    config->num_cores = 64;
+    config->num_sockets = 4;
+    config->l3 = CacheGeometry{16 * 1024 * 1024, 64, 16};
+    return true;
+  }
+  return false;
+}
+
 std::string ValidateRunSpec(const RunSpec& spec) {
+  if (!spec.topology.empty()) {
+    HierarchyConfig probe;
+    if (!ApplyTopologyPreset(spec.topology, &probe)) {
+      return "--topology must be one of: paper-amd, big; got '" + spec.topology + "'";
+    }
+  }
   if (spec.cores < 1 || spec.cores > Engine::kMaxCores) {
     return "--cores must be in [1, " + std::to_string(Engine::kMaxCores) +
            "] (the simulated machine's core limit); got " + std::to_string(spec.cores);
@@ -56,6 +84,9 @@ std::unique_ptr<ScenarioRig> MakeBaseRig(const RunSpec& spec) {
   rig->registry = std::make_unique<TypeRegistry>();
   MachineConfig config;
   config.hierarchy.num_cores = spec.cores;
+  // A topology preset overrides the flat-SMP core count and L3 geometry;
+  // callers validated the name via ValidateRunSpec.
+  DPROF_CHECK(ApplyTopologyPreset(spec.topology, &config.hierarchy));
   config.seed = spec.seed;
   if (!spec.fault_seams.empty()) {
     FaultPlanConfig fault_config;
@@ -224,6 +255,8 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
     EngineConfig engine_config;
     engine_config.threads = spec.threads;
     engine_config.allow_record_elision = spec.record_elision;
+    engine_config.socket_aware_apply = spec.socket_aware_apply;
+    engine_config.apply_work_stealing = spec.work_stealing;
     engine_config.sampling.enabled = spec.sampled;
     if (spec.sampling_period > 0) {
       engine_config.sampling.period_cycles = spec.sampling_period;
@@ -319,6 +352,7 @@ ScenarioReport RunScenario(const ScenarioRegistry& registry, const std::string& 
   report.path_traces_json = std::move(drill_report_part.path_traces_json);
   report.scenario = name;
   report.cores = rig->machine->num_cores();
+  report.num_sockets = rig->machine->hierarchy().num_sockets();
   report.collect_cycles = rig->collect_cycles;
   report.hierarchy = rig->machine->hierarchy().Totals();
   report.requests = rig->workload->CompletedRequests();
@@ -412,6 +446,14 @@ std::string ScenarioReportToJson(const ScenarioReport& report) {
   json.Key("invalidation_misses").UInt(report.hierarchy.invalidation_misses);
   json.Key("tag_reclaims").UInt(report.hierarchy.tag_reclaims);
   json.Key("back_invalidations").UInt(report.hierarchy.back_invalidations);
+  // NUMA counters exist only on multi-socket topologies; flat documents stay
+  // byte-for-byte the pre-NUMA golden fingerprints.
+  if (report.num_sockets > 1) {
+    json.Key("num_sockets").Int(report.num_sockets);
+    json.Key("remote_fills").UInt(report.hierarchy.remote_fills);
+    json.Key("cross_socket_back_invalidations")
+        .UInt(report.hierarchy.cross_socket_back_invalidations);
+  }
   json.EndObject();
   // Emitted only on sampled runs, so exact-mode documents are byte-for-byte
   // what pre-sampling builds produced (golden fingerprints, whatif identity).

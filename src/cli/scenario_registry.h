@@ -51,6 +51,18 @@ struct ScenarioRig {
 // one field, re-run).
 struct RunSpec {
   int cores = 16;
+  // Machine topology preset (see ApplyTopologyPreset): "" = flat SMP with
+  // `cores` cores and one L3; "paper-amd" = the paper's 4-socket/16-core AMD
+  // box (4 cores + one 4MB L3 slice per socket); "big" = a 4-socket/64-core
+  // machine (16 cores + one 16MB slice per socket). A preset fixes the core
+  // count and overrides `cores`.
+  std::string topology;
+  // Engine apply-phase dispatch arms on multi-socket topologies (see
+  // EngineConfig::socket_aware_apply / apply_work_stealing). Both change
+  // host wall-clock only; the report is byte-identical across all four
+  // combinations — the parallel_engine bench records both sharding arms.
+  bool socket_aware_apply = true;
+  bool work_stealing = true;
   uint64_t seed = 1;
   // 0 = keep the scenario's default collect_cycles.
   uint64_t collect_cycles = 0;
@@ -157,6 +169,11 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry);
 // message and exits nonzero instead of CHECK-aborting deep in the rig.
 std::string ValidateRunSpec(const RunSpec& spec);
 
+// Applies a named topology preset to `config`: core count, socket count, and
+// the per-slice L3 geometry. An empty name is the flat default and changes
+// nothing. Returns false on an unknown preset name.
+bool ApplyTopologyPreset(const std::string& name, HierarchyConfig* config);
+
 // Shared rig assembly for scenario factories: machine + typed allocator
 // (with the spec's transforms installed) + kernel environment sized from
 // `spec`, with interactive-friendly session defaults. The factory fills in
@@ -205,6 +222,10 @@ struct SamplingReport {
 struct ScenarioReport {
   std::string scenario;
   int cores = 0;
+  // Socket count of the run's hierarchy; the JSON document emits the NUMA
+  // counters (remote fills, cross-socket back-invalidations) only when > 1,
+  // so flat-topology documents stay byte-identical to pre-NUMA builds.
+  int num_sockets = 1;
   uint64_t collect_cycles = 0;
   uint64_t requests = 0;
   double throughput_rps = 0.0;

@@ -36,11 +36,18 @@ const ScenarioProfileRow* RowForType(const std::vector<ScenarioProfileRow>& prof
 }  // namespace
 
 std::vector<WhatIfCandidate> AutoCandidates(const std::vector<ScenarioProfileRow>& profile,
-                                            size_t top_n) {
+                                            size_t top_n, int num_sockets) {
   std::vector<WhatIfCandidate> candidates;
   const size_t n = std::min(top_n, profile.size());
   for (size_t i = 0; i < n; ++i) {
     for (const TypeTransformKind kind : AllTypeTransformKinds()) {
+      if (kind == TypeTransformKind::kPinHome && num_sockets > 1) {
+        // Per-socket home enumeration: one experiment per home socket.
+        for (int socket = 0; socket < num_sockets; ++socket) {
+          candidates.push_back(WhatIfCandidate{profile[i].type, kind, socket});
+        }
+        continue;
+      }
       candidates.push_back(WhatIfCandidate{profile[i].type, kind});
     }
   }
@@ -74,7 +81,7 @@ WhatIfReport RunWhatIf(const ScenarioRegistry& registry, const std::string& scen
   auto run_experiments = [&]() {
     for (size_t i = next.fetch_add(1); i < candidates.size(); i = next.fetch_add(1)) {
       RunSpec spec = MeasurementSpec(base_spec);
-      spec.transforms.Add(candidates[i].type, candidates[i].kind);
+      spec.transforms.Add(candidates[i].type, candidates[i].kind, candidates[i].param);
       variants[i] = RunScenario(registry, scenario, spec);
     }
   };
@@ -135,7 +142,7 @@ std::string WhatIfReportToTable(const WhatIfReport& report) {
                              ? (out.bounce_after ? "yes" : "no")
                              : (out.bounce_after ? "no -> yes" : "yes -> no");
     table.AddRow({TablePrinter::Fixed(out.delta_pct, 2), out.candidate.type,
-                  TypeTransformKindName(out.candidate.kind),
+                  TypeTransformSpecName(out.candidate.kind, out.candidate.param),
                   TablePrinter::Fixed(out.throughput_rps, 0),
                   TablePrinter::Fixed(out.miss_pct_after, 2) + " (" +
                       TablePrinter::Fixed(out.miss_pct_before, 2) + ")",
@@ -161,7 +168,7 @@ std::string WhatIfReportToJson(const WhatIfReport& report) {
   for (const WhatIfOutcome& out : report.outcomes) {
     json.BeginObject();
     json.Key("type").String(out.candidate.type);
-    json.Key("fix").String(TypeTransformKindName(out.candidate.kind));
+    json.Key("fix").String(TypeTransformSpecName(out.candidate.kind, out.candidate.param));
     json.Key("requests").UInt(out.requests);
     json.Key("throughput_rps").Number(out.throughput_rps);
     json.Key("delta_rps").Number(out.delta_rps);

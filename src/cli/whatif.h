@@ -20,11 +20,14 @@
 namespace dprof {
 
 // One candidate fix: apply `kind` to the type named `type` and re-run.
+// `param` is the kind-specific transform parameter (pin_home's target home
+// socket); -1 = unparameterized.
 struct WhatIfCandidate {
   std::string type;
   TypeTransformKind kind = TypeTransformKind::kIdentity;
+  int param = -1;
 
-  std::string Label() const { return type + ":" + TypeTransformKindName(kind); }
+  std::string Label() const { return type + ":" + TypeTransformSpecName(kind, param); }
 };
 
 // The measured effect of one candidate, diffed against the baseline run.
@@ -62,9 +65,11 @@ struct WhatIfReport {
 // The --auto search space: the top `top_n` types of `profile` crossed with
 // every transform kind (identity excluded). Allocator-internal and already
 // transformed types still appear — a no-op candidate simply ranks at the
-// bottom with a ~0 delta.
+// bottom with a ~0 delta. On a multi-socket topology (`num_sockets` > 1)
+// pin_home expands to one candidate per home socket — per-socket, not
+// per-core, so the search stays tractable at 64 cores.
 std::vector<WhatIfCandidate> AutoCandidates(const std::vector<ScenarioProfileRow>& profile,
-                                            size_t top_n);
+                                            size_t top_n, int num_sockets = 1);
 
 // Runs the baseline and every candidate experiment, then ranks the diffs.
 // `base_spec` describes the shared run shape (cores, seed, cycles); its

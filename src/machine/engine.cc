@@ -73,7 +73,10 @@ __attribute__((always_inline)) inline uint64_t MinKey(const uint64_t* keys, int 
   if (cores <= 16) {
     return MinKeyTree<16>(keys);
   }
-  return MinKeyTree<32>(keys);
+  if (cores <= 32) {
+    return MinKeyTree<32>(keys);
+  }
+  return MinKeyTree<64>(keys);
 }
 
 // Assembles the observer/hook-facing event for the access op at one lane
@@ -128,6 +131,15 @@ Engine::Engine(Machine* machine, const EngineConfig& config)
   // per-core streams applies the same per-shard suborders — identical
   // hierarchy results — without the shard indirection.
   shard_apply_ = !workers_.empty() && num_shards_ > 1;
+  // Socket-major dispatch: each socket's L3 slice is a contiguous shard
+  // range (the home bits are the shard index's high bits), so a socket task
+  // walks one slice's arrays end to end.
+  num_sockets_ = machine_->hierarchy().num_sockets();
+  shards_per_socket_ = num_shards_ / static_cast<uint32_t>(num_sockets_);
+  socket_apply_ = shard_apply_ && config_.socket_aware_apply && num_sockets_ > 1;
+  if (socket_apply_) {
+    socket_cursor_ = std::vector<std::atomic<uint32_t>>(num_sockets_);
+  }
 }
 
 Engine::~Engine() {
@@ -428,7 +440,12 @@ void Engine::RunEpoch(uint64_t min_clock, uint64_t deadline, uint64_t epoch_cycl
   const auto t1 = Clock::now();
   // Fast-forward epochs never touch the hierarchy: no apply pass at all.
   if (!ff_epoch_) {
-    if (shard_apply_) {
+    if (socket_apply_) {
+      for (auto& cursor : socket_cursor_) {
+        cursor.store(0, std::memory_order_relaxed);
+      }
+      ParallelFor(num_sockets_, [&](int socket) { ApplySocket(socket); });
+    } else if (shard_apply_) {
       ParallelFor(static_cast<int>(num_shards_),
                   [&](int shard) { ApplyShard(static_cast<uint32_t>(shard)); });
     } else {
@@ -623,6 +640,37 @@ void Engine::ApplyShard(uint32_t shard) {
     keys[core] = key;
     if (key == kDoneKey) {
       --remaining;
+    }
+  }
+}
+
+// Socket-aware apply task. The shard key is the home socket: shards of one
+// socket form a contiguous range [socket * shards_per_socket_, ...), and
+// this task drains that whole range — one worker owns whole L3 slices, so
+// its tag walks stay inside one slice's (contiguous) tag/meta arrays. Once
+// its own slice is dry, a worker steals remaining shards from the other
+// sockets' ranges through their claim cursors. Every shard is still applied
+// exactly once by exactly one worker, and shard state is disjoint, so the
+// committed results cannot depend on who applied what — stealing only
+// rebalances host wall-clock when the epoch's accesses skew toward one
+// socket's slices.
+void Engine::ApplySocket(int socket) {
+  const uint32_t base = static_cast<uint32_t>(socket) * shards_per_socket_;
+  std::atomic<uint32_t>& own = socket_cursor_[socket];
+  for (uint32_t i = own.fetch_add(1, std::memory_order_relaxed);
+       i < shards_per_socket_; i = own.fetch_add(1, std::memory_order_relaxed)) {
+    ApplyShard(base + i);
+  }
+  if (!config_.apply_work_stealing) {
+    return;
+  }
+  for (int v = 1; v < num_sockets_; ++v) {
+    const int victim = (socket + v) % num_sockets_;
+    std::atomic<uint32_t>& cursor = socket_cursor_[victim];
+    const uint32_t victim_base = static_cast<uint32_t>(victim) * shards_per_socket_;
+    for (uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < shards_per_socket_; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      ApplyShard(victim_base + i);
     }
   }
 }

@@ -108,6 +108,19 @@ struct EngineConfig {
   // merge order and clock reconstruction are unchanged); this knob exists
   // so tests and CI can force the recorded path and diff the two.
   bool allow_record_elision = true;
+  // Topology-aware apply: on a multi-socket hierarchy, the apply phase
+  // dispatches one task per socket — a worker drains whole L3 slices (the
+  // socket's contiguous shard range), keeping its tag walks inside one
+  // slice's arrays — instead of claiming the flat shard list one shard at a
+  // time. Off = the flat line-hash dispatch (the comparison arm benches
+  // record). Single-socket topologies always use the flat dispatch.
+  bool socket_aware_apply = true;
+  // Deterministic work stealing for the socket-aware apply: a worker that
+  // drains its own socket's slices takes remaining shards from other
+  // sockets' ranges via per-socket cursors. Shard state is disjoint, so
+  // which worker applies a shard (and in what order across sockets) cannot
+  // change any result — stealing rebalances wall-clock only.
+  bool apply_work_stealing = true;
   // Sampled execution (statistical fast-forward): when enabled, a
   // SamplingController alternates detailed windows (full hierarchy walks +
   // event delivery — exactly the exact-mode semantics) with fast-forward
@@ -151,7 +164,7 @@ struct EnginePhaseStats {
 class Engine final : public Executor {
  public:
   // Matches CacheHierarchy's core-count bound; merge scratch is stack-sized.
-  static constexpr int kMaxCores = 32;
+  static constexpr int kMaxCores = 64;
   static_assert((kMaxCores & (kMaxCores - 1)) == 0,
                 "merge keys pack the core id into the low log2(kMaxCores) bits");
 
@@ -224,6 +237,9 @@ class Engine final : public Executor {
   void RunAudit();
   void SimulateCore(int core, uint64_t epoch_end);
   void ApplyShard(uint32_t shard);
+  // Socket-aware apply task: drains the socket's own shard range, then (when
+  // work stealing is on) helps other sockets finish theirs.
+  void ApplySocket(int socket);
   void ApplyGlobal();
   void CommitEpoch();
 
@@ -285,6 +301,13 @@ class Engine final : public Executor {
   // Shard-parallel apply when worker threads exist; fused single merge
   // (bit-identical results, no shard lists) otherwise.
   bool shard_apply_ = false;
+  // Socket-major dispatch of the shard-parallel apply (see
+  // EngineConfig::socket_aware_apply); shards_per_socket_ is the contiguous
+  // shard range each socket owns, socket_cursor_ the per-socket claim state.
+  bool socket_apply_ = false;
+  int num_sockets_ = 1;
+  uint32_t shards_per_socket_ = 1;
+  std::vector<std::atomic<uint32_t>> socket_cursor_;
   // This epoch streams every access through the elision rings (set per
   // epoch from the gate above; identical for every host thread count).
   bool elide_epoch_ = false;

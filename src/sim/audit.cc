@@ -41,7 +41,8 @@ AuditResult InvariantAuditor::Audit() const {
   AuditResult result;
   Reporter violate{&result};
   const int num_cores = h.config_.num_cores;
-  const uint32_t core_mask = num_cores >= 32 ? ~0u : ((1u << num_cores) - 1u);
+  const uint64_t core_mask =
+      num_cores >= 64 ? ~0ull : ((1ull << num_cores) - 1ull);
 
   // The audit trusts nothing derived: lattice lookups rescan every data way
   // and every extension slot instead of going through FindL3Slot, whose
@@ -97,12 +98,14 @@ AuditResult InvariantAuditor::Audit() const {
                       level_names[li], core, set, line);
             }
           }
-          const uint64_t l3set = line & h.l3_set_mask_;
+          // Inclusion is a per-slice obligation: the tag must live in the
+          // line's home slice (L3SetOf routes through the home socket).
+          const uint64_t l3set = h.L3SetOf(line);
           const int slot = find_slot(l3set, line);
           if (slot < 0) {
             violate("inclusion: %s core %d holds line %#" PRIx64
-                    " with no lattice tag",
-                    level_names[li], core, line);
+                    " with no lattice tag in home slice %d",
+                    level_names[li], core, line, h.HomeSocketOf(line << h.line_shift_));
             continue;
           }
           const WayMeta& meta = meta_of(l3set, slot);
@@ -128,8 +131,12 @@ AuditResult InvariantAuditor::Audit() const {
   }
 
   // --- L3 lattice: tag-count bookkeeping, extension-bank liveness,
-  // per-set uniqueness, directory field sanity.
-  for (uint64_t set = 0; set < h.l3_sets_; ++set) {
+  // per-set uniqueness, directory field sanity. The global set array
+  // concatenates the per-socket slices, so this walk covers every slice's
+  // own directory domain and extension bank; each tagged line must also sit
+  // in its home slice (set / l3_sets_ names the slice being walked).
+  for (uint64_t set = 0; set < h.l3_total_sets_; ++set) {
+    const uint64_t slice = set / h.l3_sets_;
     const size_t set_base = set * h.l3_ways_;
     const size_t ext_base = set * h.l3_ext_ways_;
     const uint32_t ext_count = h.l3_ext_count_[set];
@@ -184,11 +191,17 @@ AuditResult InvariantAuditor::Audit() const {
                   line_a);
         }
       }
+      if (h.socket_mask_ != 0 &&
+          ((line_a >> h.home_shift_) & h.socket_mask_) != slice) {
+        violate("home: slice %" PRIu64 " set %" PRIu64 " holds line %#" PRIx64
+                " whose home slice is %" PRIu64,
+                slice, set, line_a, (line_a >> h.home_shift_) & h.socket_mask_);
+      }
       const WayMeta& meta = meta_of(set, static_cast<int>(a));
       if ((meta.sharers & ~core_mask) != 0 ||
           (meta.invalidated_from & ~core_mask) != 0) {
         violate("directory set %" PRIu64 " slot %u: masks name nonexistent cores "
-                "(sharers %#x, invalidated %#x)",
+                "(sharers %#" PRIx64 ", invalidated %#" PRIx64 ")",
                 set, a, meta.sharers, meta.invalidated_from);
       }
       if (meta.owner >= 0) {
@@ -196,7 +209,7 @@ AuditResult InvariantAuditor::Audit() const {
           violate("directory set %" PRIu64 " slot %u: owner %d out of range", set, a,
                   meta.owner);
         } else if (((meta.sharers >> meta.owner) & 1u) == 0) {
-          violate("directory set %" PRIu64 " slot %u: owner %d outside sharer set %#x",
+          violate("directory set %" PRIu64 " slot %u: owner %d outside sharer set %#" PRIx64,
                   set, a, meta.owner, meta.sharers);
         }
       }

@@ -50,12 +50,15 @@ void CacheHierarchy::Level::Init(const CacheGeometry& geometry, int num_cores) {
 }
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) {
-  DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 32);
+  DPROF_CHECK(config.num_cores > 0 && config.num_cores <= 64);
   DPROF_CHECK(config.l1.line_size == config.l2.line_size &&
               config.l2.line_size == config.l3.line_size);
   DPROF_CHECK(config.l3.IsPowerOfTwoShaped());
   DPROF_CHECK(config.l3.ways > 0);
   DPROF_CHECK(config.l3_dir_ext_ways > 0);
+  const int sockets = config.num_sockets;
+  DPROF_CHECK(sockets > 0 && (sockets & (sockets - 1)) == 0);
+  DPROF_CHECK(config.num_cores % sockets == 0);
   line_shift_ = config_.l1.LineShift();
 
   l1_.Init(config.l1, config.num_cores);
@@ -65,14 +68,17 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) 
   l3_ext_ways_ = config.l3_dir_ext_ways;
   l3_sets_ = config.l3.NumSets();
   l3_set_mask_ = config.l3.SetMask();
-  l3_tags_.assign(l3_sets_ * l3_ways_, kNoLine);
-  l3_stamps_.assign(l3_sets_ * l3_ways_, 0);
-  l3_meta_.assign(l3_sets_ * l3_ways_, WayMeta());
-  l3_ext_tags_.assign(l3_sets_ * l3_ext_ways_, kNoLine);
-  l3_ext_stamps_.assign(l3_sets_ * l3_ext_ways_, 0);
-  l3_ext_meta_.assign(l3_sets_ * l3_ext_ways_, WayMeta());
-  l3_ext_count_.assign(l3_sets_, 0);
-  l3_tag_count_.assign(l3_sets_, 0);
+  // One L3 slice per socket: the global set array concatenates the slices,
+  // and L3SetOf(line) = home_socket * l3_sets_ + within-slice set.
+  l3_total_sets_ = l3_sets_ * static_cast<uint64_t>(sockets);
+  l3_tags_.assign(l3_total_sets_ * l3_ways_, kNoLine);
+  l3_stamps_.assign(l3_total_sets_ * l3_ways_, 0);
+  l3_meta_.assign(l3_total_sets_ * l3_ways_, WayMeta());
+  l3_ext_tags_.assign(l3_total_sets_ * l3_ext_ways_, kNoLine);
+  l3_ext_stamps_.assign(l3_total_sets_ * l3_ext_ways_, 0);
+  l3_ext_meta_.assign(l3_total_sets_ * l3_ext_ways_, WayMeta());
+  l3_ext_count_.assign(l3_total_sets_, 0);
+  l3_tag_count_.assign(l3_total_sets_, 0);
 
   // The shard partition must refine every level's set partition: a worker
   // that owns shard s then owns whole L1/L2 set rows and whole L3 sets
@@ -85,10 +91,23 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) : config_(config) 
   shards = std::min(shards, l3_sets_);
   shard_mask_ = static_cast<uint32_t>(shards - 1);
   DPROF_CHECK((l3_set_mask_ & shard_mask_) == shard_mask_);
+  // Home bits live inside the shard width (so every shard's lines share one
+  // home socket) and therefore inside every level's set mask: two lines in
+  // the same private set row always share a home slice, which keeps
+  // eviction victims and back-invalidation targets inside their evictor's
+  // shard even across slices.
+  DPROF_CHECK(static_cast<uint64_t>(sockets) <= shards);
+  socket_mask_ = static_cast<uint32_t>(sockets - 1);
+  const uint32_t shard_bits = static_cast<uint32_t>(__builtin_ctzll(shards));
+  const uint32_t socket_bits =
+      sockets > 1 ? static_cast<uint32_t>(__builtin_ctz(static_cast<uint32_t>(sockets))) : 0;
+  home_shift_ = shard_bits - socket_bits;
+  cores_per_socket_ = config.num_cores / sockets;
   core_stats_.assign(static_cast<size_t>(config.num_cores) * shards, StatStripe());
   agg_core_stats_.resize(config.num_cores);
   reclaims_per_shard_.assign(shards, 0);
   backinv_per_shard_.assign(shards, 0);
+  xsocket_backinv_per_shard_.assign(shards, 0);
 }
 
 int CacheHierarchy::ProbeRow(const Level& level, size_t row, uint64_t line) {
@@ -235,15 +254,16 @@ void CacheHierarchy::ReclaimExtWay(uint64_t set) {
   const uint64_t line = l3_ext_tags_[ext_base + oldest];
   const WayMeta meta = l3_ext_meta_[ext_base + oldest];
   const uint32_t shard = static_cast<uint32_t>(line & shard_mask_);
+  const int home = SocketOfShard(shard);
   // The inclusion obligation: a tag leaving the lattice takes every private
   // copy it tracked with it (the owner's sharer bit is always set, so a
   // dirty owner is covered; the data itself is conceptually written back).
-  uint32_t sharers = meta.sharers;
-  for (uint32_t p = sharers; p != 0; p &= p - 1) {
-    PrefetchPrivateRows(__builtin_ctz(p), line);
+  uint64_t sharers = meta.sharers;
+  for (uint64_t p = sharers; p != 0; p &= p - 1) {
+    PrefetchPrivateRows(__builtin_ctzll(p), line);
   }
   while (sharers != 0) {
-    const int c = __builtin_ctz(sharers);
+    const int c = __builtin_ctzll(sharers);
     sharers &= sharers - 1;
     const size_t row1 = l1_.RowOf(c, line);
     const int w1 = ProbeRow(l1_, row1, line);
@@ -257,6 +277,9 @@ void CacheHierarchy::ReclaimExtWay(uint64_t set) {
     }
     if (w1 >= 0 || w2 >= 0) {
       ++backinv_per_shard_[shard];
+      if (SocketOfCore(c) != home) {
+        ++xsocket_backinv_per_shard_[shard];
+      }
     }
   }
   ++reclaims_per_shard_[shard];
@@ -374,9 +397,9 @@ void CacheHierarchy::InvalidateFrom(int c, uint64_t line, WayMeta* meta) {
     RemoveAt(l2_, row2 + static_cast<uint32_t>(w2));
   }
   if (w1 >= 0 || w2 >= 0) {
-    meta->invalidated_from |= 1u << c;
+    meta->invalidated_from |= 1ull << c;
   }
-  meta->sharers &= ~(1u << c);
+  meta->sharers &= ~(1ull << c);
   if (meta->owner == c) {
     meta->owner = -1;
     meta->excl_levels = 0;  // the owner's tagged copies just left with it
@@ -392,14 +415,14 @@ void CacheHierarchy::WriteUpgrade(int core, uint64_t line, uint64_t set, int slo
     slot = static_cast<int>(l3_ways_ + l3_ext_count_[set] - 1);
   }
   WayMeta* meta = MetaAt(set, slot);
-  uint32_t others = meta->sharers & ~(1u << core);
+  uint64_t others = meta->sharers & ~(1ull << core);
   while (others != 0) {
-    const int victim_core = __builtin_ctz(others);
+    const int victim_core = __builtin_ctzll(others);
     others &= others - 1;
     InvalidateFrom(victim_core, line, meta);
   }
   meta->owner = static_cast<int8_t>(core);
-  meta->sharers |= 1u << core;
+  meta->sharers |= 1ull << core;
   // The L3 data copy is now stale; mark the way dir-only in place (no tag
   // motion) so remote readers must fetch from us, while the embedded
   // directory state stays put. The way reads as free to later fills, which
@@ -431,17 +454,17 @@ void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t v
                                            uint64_t now) {
   // The victim's L3 set row is needed right after the other-level probe;
   // start it now so the two fetches overlap.
-  __builtin_prefetch(l3_tags_.data() + (victim & l3_set_mask_) * l3_ways_);
+  __builtin_prefetch(l3_tags_.data() + L3SetOf(victim) * l3_ways_);
   if (ProbeRow(other, other.RowOf(c, victim), victim) >= 0) {
     return;  // still held by the other private level
   }
-  const uint64_t set = victim & l3_set_mask_;
+  const uint64_t set = L3SetOf(victim);
   const L3Scan scan = ScanL3(set, victim);
   if (scan.slot < 0) {
     return;
   }
   WayMeta* meta = MetaAt(set, scan.slot);
-  meta->sharers &= ~(1u << c);
+  meta->sharers &= ~(1ull << c);
   if (meta->owner == c) {
     // Dirty victim: write back into the shared L3. Both private copies are
     // gone (the eviction took one, the probe above cleared the other), so
@@ -466,7 +489,8 @@ void CacheHierarchy::HandlePrivateEviction(int c, const Level& other, uint64_t v
 
 template <bool kWrite>
 ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
-                                    bool* invalidation) {
+                                    bool* invalidation, uint32_t* extra_latency,
+                                    bool* remote) {
   // L1 probe: the read-hit fast path is this one row scan plus a stamp.
   const size_t row1 = l1_.RowOf(core, line);
   const RowScan scan1 = ScanRow(l1_, row1, line);
@@ -476,7 +500,7 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
     if (!kWrite || (l1_.tags[slot1] & kPrivExclBit) != 0) {
       return ServedBy::kL1;  // read hit, or write hit on an owned line
     }
-    const uint64_t set = line & l3_set_mask_;
+    const uint64_t set = L3SetOf(line);
     WriteUpgrade(core, line, set, FindL3Slot(set, line), scan1.way, -1);
     return ServedBy::kL1;
   }
@@ -498,7 +522,7 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
       return ServedBy::kL2;  // already sole modified owner, reads and writes alike
     }
     if (kWrite) {
-      const uint64_t set = line & l3_set_mask_;
+      const uint64_t set = L3SetOf(line);
       WriteUpgrade(core, line, set, FindL3Slot(set, line),
                    static_cast<int64_t>(l1_way), scan2.way);
     }
@@ -507,7 +531,7 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
 
   // Private miss: one L3 lattice scan yields the data way (if any), the
   // embedded directory state, and the fill candidates a promote needs.
-  const uint64_t set = line & l3_set_mask_;
+  const uint64_t set = L3SetOf(line);
   const size_t set_base = set * l3_ways_;
   const L3Scan l3scan = ScanL3(set, line);
   int slot = l3scan.slot;
@@ -516,10 +540,17 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
   // Was the miss caused by a remote write invalidating our copy?
   if (meta != nullptr && ((meta->invalidated_from >> core) & 1u) != 0) {
     *invalidation = true;
-    meta->invalidated_from &= ~(1u << core);
+    meta->invalidated_from &= ~(1ull << core);
   }
 
-  const uint32_t others = meta != nullptr ? meta->sharers & ~(1u << core) : 0;
+  const uint64_t others = meta != nullptr ? meta->sharers & ~(1ull << core) : 0;
+  // Interconnect model: the accessor's socket vs. the serving agent's. A
+  // cache-to-cache transfer is remote when the supplier core sits on
+  // another socket; an L3 or DRAM fill is remote when the line's home slice
+  // does (the memory controller lives with the home slice).
+  const int my_socket = SocketOfCore(core);
+  const bool remote_home = socket_mask_ != 0 && SocketOfShard(static_cast<uint32_t>(
+                                                   line & shard_mask_)) != my_socket;
   ServedBy level;
   bool promote = true;  // every outcome but an L3 data hit fills a data way
   if (meta != nullptr && meta->owner >= 0 && meta->owner != core) {
@@ -527,6 +558,10 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
     // up the written-back data via the promote below.
     level = ServedBy::kForeignCache;
     const int owner = meta->owner;
+    if (socket_mask_ != 0 && SocketOfCore(owner) != my_socket) {
+      *extra_latency += config_.latency.interconnect;
+      *remote = true;
+    }
     meta->owner = -1;
     if (!kWrite) {
       // The owner keeps a shared, no-longer-exclusive copy. (On a write the
@@ -555,11 +590,25 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
     level = ServedBy::kL3;
     l3_stamps_[set_base + slot] = now;
     promote = false;
+    if (remote_home) {
+      *extra_latency += config_.latency.interconnect;
+      *remote = true;
+    }
   } else if (others != 0) {
     // Clean copy only in a sibling's private cache: cache-to-cache transfer.
+    // The directory forwards from the lowest-numbered sharer.
     level = ServedBy::kForeignCache;
+    const int supplier = __builtin_ctzll(others);
+    if (socket_mask_ != 0 && SocketOfCore(supplier) != my_socket) {
+      *extra_latency += config_.latency.interconnect;
+      *remote = true;
+    }
   } else {
     level = ServedBy::kDram;
+    if (remote_home) {
+      *extra_latency += config_.latency.interconnect;
+      *remote = true;
+    }
   }
   if (promote) {
     slot = PromoteToData(set, l3scan, line, now);
@@ -586,7 +635,7 @@ ServedBy CacheHierarchy::AccessLine(int core, uint64_t line, uint64_t now,
       slot = static_cast<int>(l3_ways_ + l3_ext_count_[set] - 1);
     }
   }
-  MetaAt(set, slot)->sharers |= 1u << core;
+  MetaAt(set, slot)->sharers |= 1ull << core;
 
   if (kWrite) {
     WriteUpgrade(core, line, set, slot, static_cast<int64_t>(l1_way),
@@ -606,9 +655,12 @@ AccessResult CacheHierarchy::AccessImpl(int core, Addr addr, uint32_t size, uint
 
   for (uint64_t line = first; line <= last; ++line) {
     bool invalidation = false;
-    const ServedBy level = AccessLine<kWrite>(core, line, now, &invalidation);
+    uint32_t extra_latency = 0;
+    bool remote = false;
+    const ServedBy level =
+        AccessLine<kWrite>(core, line, now, &invalidation, &extra_latency, &remote);
 
-    result.latency += config_.latency.Of(level);
+    result.latency += config_.latency.Of(level) + extra_latency;
     result.level = std::max(result.level, level);
     result.l1_miss = result.l1_miss || level != ServedBy::kL1;
     result.invalidation = result.invalidation || invalidation;
@@ -618,6 +670,9 @@ AccessResult CacheHierarchy::AccessImpl(int core, Addr addr, uint32_t size, uint
     ++stats.served[static_cast<int>(level)];
     if (invalidation) {
       ++stats.invalidation_misses;
+    }
+    if (remote) {
+      ++stats.remote_fills;
     }
   }
   return result;
@@ -661,6 +716,7 @@ void CacheHierarchy::ApplyBatch(int core, uint64_t base, ApplyLane* lanes, size_
     out.served[level] += scratch.served[level];
   }
   out.invalidation_misses += scratch.invalidation_misses;
+  out.remote_fills += scratch.remote_fills;
 }
 
 const CoreMemStats& CacheHierarchy::core_stats(int core) const {
@@ -673,6 +729,7 @@ const CoreMemStats& CacheHierarchy::core_stats(int core) const {
       agg.served[i] += part.served[i];
     }
     agg.invalidation_misses += part.invalidation_misses;
+    agg.remote_fills += part.remote_fills;
   }
   agg.l1_hits = agg.served[static_cast<int>(ServedBy::kL1)];
   agg.accesses = agg.l1_hits + agg.served[1] + agg.served[2] + agg.served[3] + agg.served[4];
@@ -691,9 +748,11 @@ HierarchyTotals CacheHierarchy::Totals() const {
       totals.served[i] += stats.served[i];
     }
     totals.invalidation_misses += stats.invalidation_misses;
+    totals.remote_fills += stats.remote_fills;
   }
   totals.tag_reclaims = tag_reclaims();
   totals.back_invalidations = back_invalidations();
+  totals.cross_socket_back_invalidations = cross_socket_back_invalidations();
   return totals;
 }
 
@@ -713,9 +772,25 @@ uint64_t CacheHierarchy::back_invalidations() const {
   return total;
 }
 
+uint64_t CacheHierarchy::cross_socket_back_invalidations() const {
+  uint64_t total = 0;
+  for (const uint64_t n : xsocket_backinv_per_shard_) {
+    total += n;
+  }
+  return total;
+}
+
+uint64_t CacheHierarchy::remote_fills() const {
+  uint64_t total = 0;
+  for (const StatStripe& part : core_stats_) {
+    total += part.remote_fills;
+  }
+  return total;
+}
+
 uint64_t CacheHierarchy::L3DataLines() const {
   uint64_t n = 0;
-  for (uint64_t set = 0; set < l3_sets_; ++set) {
+  for (uint64_t set = 0; set < l3_total_sets_; ++set) {
     const size_t base = set * l3_ways_;
     for (uint32_t w = 0; w < l3_ways_; ++w) {
       if (l3_tags_[base + w] < kDirOnlyBit) {
@@ -728,7 +803,7 @@ uint64_t CacheHierarchy::L3DataLines() const {
 
 bool CacheHierarchy::L3HasTag(Addr addr) const {
   const uint64_t line = addr >> line_shift_;
-  return FindL3Slot(line & l3_set_mask_, line) >= 0;
+  return FindL3Slot(L3SetOf(line), line) >= 0;
 }
 
 bool CacheHierarchy::InPrivateCache(int core, Addr addr) const {
@@ -745,7 +820,7 @@ ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
   if (ProbeRow(l2_, l2_.RowOf(core, line), line) >= 0) {
     return ServedBy::kL2;
   }
-  const uint64_t set = line & l3_set_mask_;
+  const uint64_t set = L3SetOf(line);
   const int slot = FindL3Slot(set, line);
   const WayMeta* meta =
       slot >= 0 ? const_cast<CacheHierarchy*>(this)->MetaAt(set, slot) : nullptr;
@@ -756,7 +831,7 @@ ServedBy CacheHierarchy::ProbeLevel(int core, Addr addr) const {
       l3_tags_[set * l3_ways_ + slot] == line) {
     return ServedBy::kL3;
   }
-  if (meta != nullptr && (meta->sharers & ~(1u << core)) != 0) {
+  if (meta != nullptr && (meta->sharers & ~(1ull << core)) != 0) {
     return ServedBy::kForeignCache;
   }
   return ServedBy::kDram;
@@ -790,7 +865,7 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
             continue;
           }
           const uint64_t line = tag & kPrivTagMask;
-          const uint64_t set = line & l3_set_mask_;
+          const uint64_t set = L3SetOf(line);
           const int l3slot = FindL3Slot(set, line);
           if (l3slot < 0) {
             continue;
@@ -818,11 +893,11 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
             continue;
           }
           const uint64_t line = tag & kPrivTagMask;
-          const int l3slot = FindL3Slot(line & l3_set_mask_, line);
+          const int l3slot = FindL3Slot(L3SetOf(line), line);
           if (l3slot < 0) {
             continue;
           }
-          WayMeta* meta = MetaAt(line & l3_set_mask_, l3slot);
+          WayMeta* meta = MetaAt(L3SetOf(line), l3slot);
           if ((tag & kPrivExclBit) == 0 && meta->owner != c) {
             l1_.tags[slot] = tag | kPrivExclBit;
             return true;
@@ -838,7 +913,7 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
     case 2: {
       // Tag-count bookkeeping skew. Decrementing (never incrementing) keeps
       // every tag scan in bounds while the audit's recount still disagrees.
-      for (uint64_t set = 0; set < l3_sets_; ++set) {
+      for (uint64_t set = 0; set < l3_total_sets_; ++set) {
         if (l3_tag_count_[set] > 0) {
           l3_tag_count_[set] = static_cast<uint16_t>(l3_tag_count_[set] - 1);
           return true;
@@ -856,13 +931,13 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
             continue;
           }
           const uint64_t line = tag & kPrivTagMask;
-          const int l3slot = FindL3Slot(line & l3_set_mask_, line);
+          const int l3slot = FindL3Slot(L3SetOf(line), line);
           if (l3slot < 0) {
             continue;
           }
-          WayMeta* meta = MetaAt(line & l3_set_mask_, l3slot);
+          WayMeta* meta = MetaAt(L3SetOf(line), l3slot);
           if ((meta->sharers >> c) & 1u) {
-            meta->sharers &= ~(1u << c);
+            meta->sharers &= ~(1ull << c);
             return true;
           }
         }
@@ -872,7 +947,7 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
     case 4: {
       // Duplicate lattice tag: the same line tagged in a data way and the
       // extension bank at once.
-      for (uint64_t set = 0; set < l3_sets_; ++set) {
+      for (uint64_t set = 0; set < l3_total_sets_; ++set) {
         if (l3_ext_count_[set] >= l3_ext_ways_) {
           continue;
         }
@@ -894,7 +969,7 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
     }
     case 5: {
       // Owner outside the sharer set.
-      for (uint64_t set = 0; set < l3_sets_; ++set) {
+      for (uint64_t set = 0; set < l3_total_sets_; ++set) {
         const size_t set_base = set * l3_ways_;
         for (uint32_t w = 0; w < l3_ways_; ++w) {
           if (l3_tags_[set_base + w] == kNoLine || l3_meta_[set_base + w].sharers == 0) {
@@ -912,8 +987,40 @@ bool CacheHierarchy::InjectLatticeFault(int kind) {
             meta.owner = static_cast<int8_t>(outside);
           } else {
             meta.owner = 0;
-            meta.sharers &= ~1u;
+            meta.sharers &= ~1ull;
           }
+          return true;
+        }
+      }
+      return false;
+    }
+    case 6: {
+      // Wrong-home line: duplicate a tagged line into a foreign socket's
+      // slice (same low set bits, different slice). Only expressible on a
+      // multi-socket topology.
+      if (socket_mask_ == 0) {
+        return false;
+      }
+      for (uint64_t set = 0; set < l3_total_sets_; ++set) {
+        const size_t set_base = set * l3_ways_;
+        for (uint32_t w = 0; w < l3_ways_; ++w) {
+          const uint64_t tag = l3_tags_[set_base + w];
+          if (tag == kNoLine) {
+            continue;
+          }
+          const uint64_t line = tag & kTagMask;
+          const uint64_t low = line & l3_set_mask_;
+          const uint64_t home = set / l3_sets_;
+          const uint64_t foreign = (home + 1) & socket_mask_;
+          const uint64_t wrong_set = foreign * l3_sets_ + low;
+          if (l3_ext_count_[wrong_set] >= l3_ext_ways_) {
+            continue;
+          }
+          const size_t at = wrong_set * l3_ext_ways_ + l3_ext_count_[wrong_set];
+          l3_ext_tags_[at] = line;
+          l3_ext_stamps_[at] = 0;
+          l3_ext_meta_[at] = WayMeta();
+          l3_ext_count_[wrong_set] = static_cast<uint16_t>(l3_ext_count_[wrong_set] + 1);
           return true;
         }
       }

@@ -29,6 +29,19 @@
 // makes the lattice's aggregate stats bit-identical to the unbounded
 // hash-directory model this replaced.
 //
+// NUMA: with HierarchyConfig::num_sockets > 1 the machine carries one L3
+// slice per socket — an independent set array, directory domain, and
+// extension bank. A line's home slice is an address hash (the socket-count
+// bits of its line number just below the shard width), so homes interleave
+// in aligned blocks of home_block_bytes() and, crucially, every shard's
+// lines share one home socket: the engine can hand whole sockets' worth of
+// shards to one worker. Accesses served by a remote home slice, or by a
+// supplier core on another socket (including the foreign-read downgrade),
+// pay LatencyModel::interconnect per line and count as remote_fills;
+// reclaim back-invalidations crossing a socket boundary count as
+// cross_socket_back_invalidations. num_sockets == 1 degenerates to the flat
+// SMP exactly.
+//
 // Sharding: every piece of hierarchy state — the L1/L2 set rows, and the L3
 // sets with their embedded directory — partitions by the low bits of the
 // line number, and the shard width divides every level's set count, so the
@@ -67,6 +80,11 @@ struct LatencyModel {
   uint32_t l3 = 50;
   uint32_t foreign = 200;
   uint32_t dram = 250;
+  // Added once per line when the serving agent sits on another socket: an
+  // L3/DRAM fill whose home slice is remote, or a cache-to-cache transfer
+  // (including the foreign-read downgrade) whose supplier core is remote.
+  // Never charged on single-socket machines.
+  uint32_t interconnect = 100;
 
   uint32_t Of(ServedBy level) const;
 };
@@ -112,6 +130,16 @@ static_assert(sizeof(ApplyLane) == 16, "spans are streamed as 16-byte records");
 
 struct HierarchyConfig {
   int num_cores = 16;
+  // NUMA sockets (power of two, divides num_cores). Cores are block-assigned
+  // (core c sits on socket c / (num_cores / num_sockets)); the `l3` geometry
+  // below describes ONE per-socket slice, so the machine carries num_sockets
+  // independent slices, each with its own directory domain and extension
+  // bank. Lines are homed by address hash: the two (for 4 sockets) line bits
+  // just below the shard width pick the slice, so homes interleave in
+  // aligned blocks of 2^(shard_bits - socket_bits) lines and every shard's
+  // lines share one home socket. num_sockets == 1 is the flat SMP the
+  // pre-NUMA model simulated, bit for bit.
+  int num_sockets = 1;
   CacheGeometry l1{32 * 1024, 64, 8};
   CacheGeometry l2{512 * 1024, 64, 16};
   CacheGeometry l3{16 * 1024 * 1024, 64, 16};
@@ -130,6 +158,9 @@ struct CoreMemStats {
   uint64_t l1_misses = 0;
   uint64_t served[5] = {0, 0, 0, 0, 0};  // indexed by ServedBy
   uint64_t invalidation_misses = 0;
+  // Lines served across the interconnect (remote home slice or remote
+  // supplier core). Always zero on single-socket machines.
+  uint64_t remote_fills = 0;
 };
 
 // CoreMemStats summed over all cores, plus the lattice's inclusion-
@@ -143,6 +174,11 @@ struct HierarchyTotals {
   uint64_t invalidation_misses = 0;
   uint64_t tag_reclaims = 0;
   uint64_t back_invalidations = 0;
+  // NUMA interconnect traffic: lines served across sockets, and reclaim
+  // back-invalidations whose victim core sat on a different socket than the
+  // line's home slice. Both zero on single-socket machines.
+  uint64_t remote_fills = 0;
+  uint64_t cross_socket_back_invalidations = 0;
 };
 
 class CacheHierarchy {
@@ -197,6 +233,23 @@ class CacheHierarchy {
     return static_cast<uint32_t>((addr >> line_shift_) & shard_mask_);
   }
 
+  // NUMA topology. Home-socket bits sit inside the shard width, so every
+  // shard's lines share one home slice and the engine can schedule whole
+  // sockets' worth of shards onto one worker (SocketOfShard).
+  int num_sockets() const { return static_cast<int>(socket_mask_ + 1); }
+  int SocketOfCore(int core) const { return core / cores_per_socket_; }
+  int SocketOfShard(uint32_t shard) const {
+    return static_cast<int>((shard >> home_shift_) & socket_mask_);
+  }
+  int HomeSocketOf(Addr addr) const {
+    return static_cast<int>(((addr >> line_shift_) >> home_shift_) & socket_mask_);
+  }
+  // Granularity of home interleaving: addresses inside one aligned block of
+  // this many bytes share a home socket, and consecutive blocks cycle the
+  // sockets in order (block index modulo num_sockets). The slab allocator's
+  // socket-aware pin_home placement carves object runs from these blocks.
+  uint64_t home_block_bytes() const { return 1ull << (line_shift_ + home_shift_); }
+
   // Introspection for tests and profilers.
   bool InPrivateCache(int core, Addr addr) const;
   ServedBy ProbeLevel(int core, Addr addr) const;  // level a read would hit now
@@ -209,6 +262,10 @@ class CacheHierarchy {
   // stats-equivalence envelope).
   uint64_t tag_reclaims() const;
   uint64_t back_invalidations() const;
+  // NUMA interconnect ground truth: lines served across sockets, and
+  // reclaim back-invalidations that crossed a socket boundary.
+  uint64_t remote_fills() const;
+  uint64_t cross_socket_back_invalidations() const;
 
   // Lattice introspection for tests: number of L3 data ways in use, and
   // whether `addr`'s line holds any lattice tag (data or extension).
@@ -231,7 +288,9 @@ class CacheHierarchy {
   //   3: clear the directory sharer bit of a live private holder
   //   4: duplicate a data tag into the extension bank
   //   5: point a directory owner at a core outside its sharer set
-  static constexpr int kNumLatticeFaultKinds = 6;
+  //   6: materialize a line's tag in a foreign socket's L3 slice (wrong-home
+  //      line; injectable only when num_sockets > 1)
+  static constexpr int kNumLatticeFaultKinds = 7;
   bool InjectLatticeFault(int kind);
 
  private:
@@ -263,7 +322,7 @@ class CacheHierarchy {
     const size_t row2 = l2_.RowOf(core, line);
     __builtin_prefetch(l2_.tags.data() + row2);
     __builtin_prefetch(l2_.stamps.data() + row2, 1);
-    const size_t l3_base = (line & l3_set_mask_) * l3_ways_;
+    const size_t l3_base = L3SetOf(line) * l3_ways_;
     __builtin_prefetch(l3_tags_.data() + l3_base);
     if (l3_ways_ > 8) {  // second host line of a 16-way tag row
       __builtin_prefetch(l3_tags_.data() + l3_base + 8);
@@ -308,18 +367,18 @@ class CacheHierarchy {
     }
   };
 
-  // Directory metadata embedded in every L3 lattice way.
+  // Directory metadata embedded in every L3 lattice way. The core masks are
+  // 64 bits wide to match Engine::kMaxCores.
   struct WayMeta {
-    uint32_t sharers = 0;           // cores whose private caches may hold the line
-    uint32_t invalidated_from = 0;  // cores that lost the line to a remote write
+    uint64_t sharers = 0;           // cores whose private caches may hold the line
+    uint64_t invalidated_from = 0;  // cores that lost the line to a remote write
     int8_t owner = -1;              // core with a dirty copy, or -1
     // Level-presence hint for the owner's exclusive grant: bit 0 = the
     // owner's L1 may carry kPrivExclBit, bit 1 = its L2 may. Granting L2
     // sets both bits (an exclusive L2 silently propagates its bit to an L1
     // refill, with no directory access), so a clear bit guarantees that
     // level holds no exclusive tag — the foreign-read downgrade skips its
-    // probe. Fits the struct's padding byte, so the directory word stays
-    // 12 bytes.
+    // probe. Fits the struct's padding bytes.
     uint8_t excl_levels = 0;
 
     bool HasState() const {
@@ -354,9 +413,19 @@ class CacheHierarchy {
   int FindL3Slot(uint64_t set, uint64_t line) const;
   L3Scan ScanL3(uint64_t set, uint64_t line) const;
 
-  // Serves a single line access. Returns the level; sets *invalidation.
+  // Serves a single line access. Returns the level; sets *invalidation, and
+  // *extra_latency gains the interconnect penalty when the serving agent sat
+  // on another socket (sets *remote alongside).
   template <bool kWrite>
-  ServedBy AccessLine(int core, uint64_t line, uint64_t now, bool* invalidation);
+  ServedBy AccessLine(int core, uint64_t line, uint64_t now, bool* invalidation,
+                      uint32_t* extra_latency, bool* remote);
+
+  // Home slice's global L3 set of `line`: the home socket picks the slice,
+  // the line's set bits pick the set within it. Degenerates to the flat
+  // `line & l3_set_mask_` when num_sockets == 1 (socket_mask_ == 0).
+  uint64_t L3SetOf(uint64_t line) const {
+    return ((line >> home_shift_) & socket_mask_) * l3_sets_ + (line & l3_set_mask_);
+  }
 
 
   // Ensures `line` occupies an L3 data way (stamp = now), preserving its
@@ -418,6 +487,7 @@ class CacheHierarchy {
   struct StatStripe {
     uint64_t served[5] = {0, 0, 0, 0, 0};
     uint64_t invalidation_misses = 0;
+    uint64_t remote_fills = 0;
   };
 
   StatStripe& StatsFor(int core, uint64_t line) {
@@ -434,6 +504,12 @@ class CacheHierarchy {
   HierarchyConfig config_;
   uint32_t shard_mask_ = 0;  // num_shards-1
   uint32_t line_shift_ = 6;  // log2(line size); lines are power-of-two sized
+  // Socket topology: home bits sit at [home_shift_, home_shift_+socket_bits)
+  // of the line number, inside the shard width. All zero-width (mask 0,
+  // shift = shard bits) on single-socket machines.
+  uint32_t socket_mask_ = 0;       // num_sockets - 1
+  uint32_t home_shift_ = 0;        // shard bits - socket bits
+  int cores_per_socket_ = 1;
 
   Level l1_;
   Level l2_;
@@ -446,8 +522,9 @@ class CacheHierarchy {
   // addresses both: data way w, or l3_ways_ + ext index.
   uint32_t l3_ways_ = 0;
   uint32_t l3_ext_ways_ = 0;
-  uint64_t l3_sets_ = 0;
-  uint64_t l3_set_mask_ = 0;
+  uint64_t l3_sets_ = 0;        // sets per slice (config.l3 geometry)
+  uint64_t l3_total_sets_ = 0;  // l3_sets_ * num_sockets: all slices' sets
+  uint64_t l3_set_mask_ = 0;    // within-slice set mask
   std::vector<uint64_t> l3_tags_;
   std::vector<uint64_t> l3_stamps_;
   std::vector<WayMeta> l3_meta_;
@@ -463,6 +540,7 @@ class CacheHierarchy {
   // own disjoint shards) never write the same slot.
   std::vector<uint64_t> reclaims_per_shard_;
   std::vector<uint64_t> backinv_per_shard_;
+  std::vector<uint64_t> xsocket_backinv_per_shard_;
 };
 
 }  // namespace dprof

@@ -51,6 +51,33 @@ TEST(EngineDeterminismTest, RecordElisionIdenticalOnOffAndAcrossThreads) {
   EXPECT_EQ(base, RunJson("memcached", 4, 2'000'000, 4, false));
 }
 
+TEST(EngineDeterminismTest, PaperTopologyIdenticalAcrossThreadsAndModes) {
+  // The NUMA machine adds per-socket L3 slices, interconnect latency, and
+  // socket-aware apply sharding with work stealing — none of which may leak
+  // host threading into the committed stream. The full report must be
+  // byte-identical across thread counts, record elision, flat sharding, and
+  // stealing on/off.
+  auto run = [](int threads, bool elide, bool socket_aware, bool stealing) {
+    RunSpec params;
+    params.topology = "paper-amd";
+    params.collect_cycles = 500'000;
+    params.threads = threads;
+    params.record_elision = elide;
+    params.socket_aware_apply = socket_aware;
+    params.work_stealing = stealing;
+    return ScenarioReportToJson(
+        RunScenario(ScenarioRegistry::Default(), "memcached", params));
+  };
+  const std::string base = run(1, true, true, true);
+  EXPECT_NE(base.find("num_sockets"), std::string::npos);
+  EXPECT_EQ(base, run(4, true, true, true));
+  EXPECT_EQ(base, run(8, true, true, true));
+  EXPECT_EQ(base, run(1, false, true, true));
+  EXPECT_EQ(base, run(4, false, true, true));
+  EXPECT_EQ(base, run(4, true, false, true));  // flat sharding
+  EXPECT_EQ(base, run(4, true, true, false));  // stealing off
+}
+
 TEST(EngineTest, UnprofiledRunElidesEveryEpochAndMatchesRecordedPath) {
   // With no session attached nothing can consume an access event, so every
   // epoch is elision-eligible; clocks (and everything derived from them)

@@ -115,6 +115,10 @@ TEST(AuditTest, HealthyAuditedRunIsByteIdentical) {
 TEST(AuditTest, AuditorDetectsEveryCorruptionKind) {
   for (int kind = 0; kind < CacheHierarchy::kNumLatticeFaultKinds; ++kind) {
     RunSpec spec = SmallSpec("");
+    if (kind == 6) {
+      // Wrong-home corruption only exists on a multi-socket topology.
+      spec.topology = "paper-amd";
+    }
     auto rig = MakeBaseRig(spec);
     rig->workload = std::make_unique<MemcachedWorkload>(rig->env.get(), MemcachedConfig{});
     rig->workload->Install(*rig->machine);
@@ -227,10 +231,12 @@ TEST(DegradeTest, WindowJitterTriggersHonestyDegradation) {
 
 TEST(ValidateRunSpecTest, CoversTheRealCoreLimit) {
   RunSpec spec;
-  spec.cores = 64;  // passes the old CLI's [1, 4096] check, aborted the rig
+  // Passes the old CLI's [1, 4096] check, aborted the rig before validation
+  // moved to the real engine limit.
+  spec.cores = Engine::kMaxCores + 1;
   const std::string error = ValidateRunSpec(spec);
   EXPECT_NE(error.find("--cores"), std::string::npos);
-  EXPECT_NE(error.find("32"), std::string::npos);
+  EXPECT_NE(error.find(std::to_string(Engine::kMaxCores)), std::string::npos);
   spec.cores = Engine::kMaxCores;
   EXPECT_EQ(ValidateRunSpec(spec), "");
 }

@@ -240,6 +240,116 @@ TEST(HierarchyTest, WriteUpgradeTemplatePathsAgree) {
 }
 
 // ---------------------------------------------------------------------------
+// NUMA topology: home-socket assignment, interconnect latency, and
+// cross-socket back-invalidation accounting.
+// ---------------------------------------------------------------------------
+
+// The small machine split into two sockets of two cores, each with its own
+// L3 slice. Shards = 8 (the L1 set count), so home_shift = 2 and home
+// blocks are 4 lines (256 bytes) cycling socket 0, 1, 0, 1, ...
+HierarchyConfig NumaConfig() {
+  HierarchyConfig config = SmallConfig(4);
+  config.num_sockets = 2;
+  return config;
+}
+
+TEST(HierarchyTest, NumaHomeAssignmentCyclesByBlock) {
+  CacheHierarchy h(NumaConfig());
+  ASSERT_EQ(h.num_sockets(), 2);
+  const uint64_t block = h.home_block_bytes();
+  EXPECT_EQ(h.HomeSocketOf(0), 0);
+  EXPECT_EQ(h.HomeSocketOf(block), 1);
+  EXPECT_EQ(h.HomeSocketOf(2 * block), 0);
+  EXPECT_EQ(h.SocketOfCore(0), 0);
+  EXPECT_EQ(h.SocketOfCore(3), 1);
+  // Flat machines degenerate: every address is home, every core socket 0.
+  CacheHierarchy flat(SmallConfig(4));
+  EXPECT_EQ(flat.num_sockets(), 1);
+  EXPECT_EQ(flat.HomeSocketOf(flat.home_block_bytes()), 0);
+  EXPECT_EQ(flat.SocketOfCore(3), 0);
+}
+
+TEST(HierarchyTest, NumaRemoteHomeFillChargesInterconnect) {
+  CacheHierarchy h(NumaConfig());
+  const uint64_t block = h.home_block_bytes();
+  // Local-home DRAM fill: core 0 (socket 0) reads a socket-0 block.
+  const AccessResult local = h.Access(0, 0, 8, false, 1);
+  EXPECT_EQ(local.level, ServedBy::kDram);
+  EXPECT_EQ(local.latency, h.config().latency.dram);
+  EXPECT_EQ(h.remote_fills(), 0u);
+  // Remote-home DRAM fill: the next block's home slice is socket 1.
+  const AccessResult remote = h.Access(0, block, 8, false, 2);
+  EXPECT_EQ(remote.level, ServedBy::kDram);
+  EXPECT_EQ(remote.latency, h.config().latency.dram + h.config().latency.interconnect);
+  EXPECT_EQ(h.remote_fills(), 1u);
+  EXPECT_EQ(h.core_stats(0).remote_fills, 1u);
+}
+
+TEST(HierarchyTest, NumaCrossSocketDirtyTransferChargesInterconnect) {
+  // 0x2000 is a socket-0 home block. A same-socket dirty transfer (core 0 ->
+  // core 1) pays plain foreign latency; the identical transfer to a core on
+  // the other socket (core 2) adds exactly one interconnect hop.
+  CacheHierarchy same(NumaConfig());
+  ASSERT_EQ(same.HomeSocketOf(0x2000), 0);
+  same.Access(0, 0x2000, 8, true, 1);
+  const AccessResult r_same = same.Access(1, 0x2000, 8, false, 2);
+  EXPECT_EQ(r_same.level, ServedBy::kForeignCache);
+
+  CacheHierarchy cross(NumaConfig());
+  cross.Access(0, 0x2000, 8, true, 1);
+  const AccessResult r_cross = cross.Access(2, 0x2000, 8, false, 2);
+  EXPECT_EQ(r_cross.level, ServedBy::kForeignCache);
+  EXPECT_EQ(r_cross.latency, r_same.latency + cross.config().latency.interconnect);
+  EXPECT_EQ(same.remote_fills(), 0u);
+  EXPECT_EQ(cross.remote_fills(), 1u);
+}
+
+TEST(HierarchyTest, NumaCrossSocketBackInvalidationCounted) {
+  // The TinyLattice overflow idiom, driven from the far socket: cores 2 and
+  // 3 (socket 1) write and then displace lines whose home slice is socket 0,
+  // so the reclaim's back-invalidations cross the interconnect.
+  HierarchyConfig config = NumaConfig();
+  config.l3_dir_ext_ways = 1;
+  CacheHierarchy h(config);
+  const uint64_t set_span = config.l3.NumSets() * config.l3.line_size;
+  const Addr a = 0x10000;
+  ASSERT_EQ(h.HomeSocketOf(a), 0);
+  ASSERT_EQ(h.SocketOfCore(2), 1);
+  h.Access(2, a, 8, true, 1);
+  h.Access(2, a + set_span, 8, true, 2);
+  ASSERT_TRUE(h.InPrivateCache(2, a));
+  for (uint64_t i = 2; i <= 1 + config.l3.ways; ++i) {
+    h.Access(3, a + i * set_span, 8, false, 10 + i);
+  }
+  EXPECT_GT(h.tag_reclaims(), 0u);
+  EXPECT_GT(h.back_invalidations(), 0u);
+  EXPECT_GT(h.cross_socket_back_invalidations(), 0u);
+  EXPECT_FALSE(h.InPrivateCache(2, a));
+}
+
+TEST(HierarchyTest, WrongHomeFaultInjectableOnlyOnNuma) {
+  // Fault kind 6 duplicates a tagged line into a foreign slice's extension
+  // bank. It has nothing to corrupt on a flat machine, and on a NUMA one the
+  // auditor must call out the misplaced home.
+  CacheHierarchy flat(SmallConfig(4));
+  flat.Access(0, 0x3000, 8, true, 1);
+  EXPECT_FALSE(flat.InjectLatticeFault(6));
+
+  CacheHierarchy h(NumaConfig());
+  h.Access(0, 0x3000, 8, true, 1);
+  InvariantAuditor auditor(&h);
+  EXPECT_TRUE(auditor.Audit().ok());
+  ASSERT_TRUE(h.InjectLatticeFault(6));
+  const AuditResult corrupted = auditor.Audit();
+  EXPECT_FALSE(corrupted.ok());
+  bool mentions_home = false;
+  for (const std::string& v : corrupted.violations) {
+    mentions_home = mentions_home || v.find("home") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_home);
+}
+
+// ---------------------------------------------------------------------------
 // Directory-extension overflow scenario (test-only, unregistered): a full
 // engine-driven workload that actually fires the ReclaimExtWay inclusion
 // obligation, which no registered scenario reaches. Core 0 writes two lines
